@@ -1,0 +1,27 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Absolute
+numbers come from a simulated substrate, so the assertions target the
+*shape* of each result (who wins, rough factors, orderings) — see
+EXPERIMENTS.md.  Formatted outputs are written to ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the regenerated tables/figures as text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist one experiment's formatted output."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,110 @@
+"""Benchmark: extensions beyond the paper's evaluation.
+
+Three studies the paper motivates but does not plot:
+
+* **strong scaling** of the simulation on Thunder (time vs rank count at
+  fixed problem size) with and without DLB;
+* **energy-to-solution** comparison between the Intel and Arm clusters
+  (the Mont-Blanc question behind the Thunder prototype);
+* **pollutant inhalation**: particles injected repeatedly during the run
+  (Sec. 2.2 mentions production simulations inject "several times"), which
+  grows the particle-phase load and with it the value of DLB.
+"""
+
+from conftest import save_result
+
+from repro.app import (
+    LARGE_PARTICLE_RATIO,
+    RunConfig,
+    WorkloadSpec,
+    get_workload,
+    run_cfpd,
+)
+from repro.core import Strategy
+from repro.experiments import format_table
+
+
+def _cfg(nranks, dlb, cluster="thunder", num_nodes=2):
+    return RunConfig(cluster=cluster, num_nodes=num_nodes, nranks=nranks,
+                     threads_per_rank=1,
+                     assembly_strategy=Strategy.MULTIDEP,
+                     sgs_strategy=Strategy.ATOMICS, dlb=dlb)
+
+
+def run_strong_scaling():
+    wl = get_workload(WorkloadSpec())
+    rows = []
+    for nranks in (24, 48, 96, 192):
+        times = {dlb: run_cfpd(_cfg(nranks, dlb), workload=wl).total_time
+                 for dlb in (False, True)}
+        rows.append((nranks, times[False], times[True]))
+    return rows
+
+
+def test_ext_strong_scaling(benchmark, results_dir):
+    rows = benchmark.pedantic(run_strong_scaling, rounds=1, iterations=1)
+    table = [(n, f"{o * 1e3:.3f}", f"{d * 1e3:.3f}",
+              f"{rows[0][1] / o:.2f}x") for n, o, d in rows]
+    save_result(results_dir, "ext_strong_scaling", format_table(
+        ["ranks", "orig (ms)", "DLB (ms)", "speedup vs 24"],
+        table, title="Strong scaling on Thunder (fixed problem size)"))
+    times = [o for _, o, _ in rows]
+    # more ranks help up to the core count (monotone within 10 % slack)
+    assert times[1] < times[0] * 1.1
+    assert times[2] < times[0]
+    # DLB never hurts at any scale
+    assert all(d <= o * 1.001 for _, o, d in rows)
+
+
+def run_energy_comparison():
+    wl = get_workload(WorkloadSpec())
+    rows = []
+    for cluster, nranks in (("marenostrum4", 96), ("thunder", 192)):
+        res = run_cfpd(_cfg(nranks, True, cluster=cluster), workload=wl)
+        rows.append((cluster, nranks, res.total_time, res.energy_joules()))
+    return rows
+
+
+def test_ext_energy_comparison(benchmark, results_dir):
+    rows = benchmark.pedantic(run_energy_comparison, rounds=1, iterations=1)
+    table = [(c, n, f"{t * 1e3:.3f}", f"{e:.3f}") for c, n, t, e in rows]
+    save_result(results_dir, "ext_energy", format_table(
+        ["cluster", "ranks", "time (ms)", "energy (J)"],
+        table, title="Time- and energy-to-solution (DLB on, full machine)"))
+    by_cluster = {c: (t, e) for c, _, t, e in rows}
+    # the Arm machine is slower per step but the energy gap is much
+    # narrower than the time gap (the Mont-Blanc trade-off)
+    t_ratio = by_cluster["thunder"][0] / by_cluster["marenostrum4"][0]
+    e_ratio = by_cluster["thunder"][1] / by_cluster["marenostrum4"][1]
+    assert t_ratio > 1.5
+    assert e_ratio < t_ratio
+
+
+def run_pollutant_comparison():
+    single = get_workload(WorkloadSpec(
+        particle_ratio=LARGE_PARTICLE_RATIO))
+    pollutant = get_workload(WorkloadSpec(
+        particle_ratio=LARGE_PARTICLE_RATIO, injection_interval=3))
+    out = {}
+    for tag, wl in (("single", single), ("pollutant", pollutant)):
+        times = {dlb: run_cfpd(_cfg(192, dlb), workload=wl).total_time
+                 for dlb in (False, True)}
+        out[tag] = (wl.total_injected, times[False], times[True])
+    return out
+
+
+def test_ext_pollutant_injection(benchmark, results_dir):
+    out = benchmark.pedantic(run_pollutant_comparison, rounds=1,
+                             iterations=1)
+    table = [(tag, n, f"{o * 1e3:.3f}", f"{d * 1e3:.3f}", f"{o / d:.2f}x")
+             for tag, (n, o, d) in out.items()]
+    save_result(results_dir, "ext_pollutant", format_table(
+        ["scenario", "injected", "orig (ms)", "DLB (ms)", "gain"],
+        table,
+        title="Repeated (pollutant) injection vs single injection, Thunder"))
+    n_single, o_single, d_single = out["single"]
+    n_poll, o_poll, d_poll = out["pollutant"]
+    assert n_poll > n_single
+    assert o_poll > o_single          # more particles, more work
+    # DLB keeps paying off under continuous injection
+    assert o_poll / d_poll > 1.2

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 10 — 7e6-scaled particles on MareNostrum4.
+
+With the heavy particle load the computational weight shifts to the
+particles code; the paper reports DLB improvements between 1.7x and 2.2x
+over the original execution.  Shape assertions: substantial DLB gains
+(>1.3x in at least one configuration, and clearly larger than for the
+small load), improvement everywhere, flat profile under DLB.
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_fig8, run_fig10
+
+
+def test_fig10_dlb_mn4_large(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    save_result(results_dir, "fig10_dlb_mn4_large", result.format())
+
+    gains = result.dlb_gains()
+    assert all(g >= 0.99 for g in gains)
+    assert max(gains) > 1.4          # paper band: 1.7x - 2.2x
+    assert sum(gains) / len(gains) > 1.25
+    assert result.dlb_spread() < 1.35
+
+    # heavier particle load -> larger DLB gains than the small run
+    small = run_fig8()
+    assert max(gains) > max(small.dlb_gains()) - 0.05

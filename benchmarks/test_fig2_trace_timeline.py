@@ -1,0 +1,44 @@
+"""Benchmark: Figure 2 — trace timeline of one simulation step.
+
+Regenerates the Paraver-style timeline (phases per rank over time) for the
+Table-1 run and checks its structural properties: every rank traverses the
+phases in order, the particles phase is dominated by a few ranks, and the
+assembly phase shows ragged (imbalanced) ends.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_trace_timeline(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    save_result(results_dir, "fig2_timeline",
+                result.render(width=110, max_ranks=24))
+
+    rows = result.rows()
+    assert rows, "timeline must contain samples"
+    ranks = {r for r, *_ in rows}
+    assert len(ranks) == 96
+
+    # per rank: phases appear in the canonical order
+    order = ["assembly", "solver1", "solver2", "sgs", "particles"]
+    for rank in list(ranks)[:8]:
+        phases = [p for r, p, *_ in rows if r == rank]
+        assert phases == order
+
+    # particles phase: the busy time concentrates on very few ranks
+    # (the injection disk spans a handful of the 96 rank subdomains)
+    part = [(r, t1 - t0) for r, p, t0, t1 in rows if p == "particles"]
+    durations = np.array([d for _, d in part])
+    top4 = np.sort(durations)[-4:].sum()
+    assert top4 > 0.5 * durations.sum()
+    assert (durations > 0).sum() < 20  # most ranks have no particle work
+
+    # assembly: ragged ends (max end-time spread exceeds 10 % of phase)
+    asm = [(t0, t1) for r, p, t0, t1 in rows if p == "assembly"]
+    ends = np.array([t1 for _, t1 in asm])
+    starts = np.array([t0 for t0, _ in asm])
+    span = ends.max() - starts.min()
+    assert (ends.max() - ends.min()) > 0.1 * span

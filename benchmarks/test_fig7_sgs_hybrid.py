@@ -1,0 +1,37 @@
+"""Benchmark: Figure 7 — hybrid SGS speedup per strategy.
+
+The SGS loop has no shared updates, so the "atomics" build is a plain
+parallel loop with no penalty.  Shape assertions:
+
+* the atomic version is (near-)fastest — coloring and multidep only add
+  structural overhead here;
+* that overhead is bounded (paper: below 10 %; our strongly scaled-down
+  per-rank domains make tasks ~100x smaller than production, so we allow
+  up to ~25 % at the finest configurations — see EXPERIMENTS.md);
+* hybrid parallelizations outperform the pure-MPI execution.
+"""
+
+from conftest import save_result
+
+from repro.core import Strategy
+from repro.experiments import run_fig7
+
+
+def test_fig7_sgs_hybrid(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    save_result(results_dir, "fig7_sgs", result.format())
+
+    for cluster in ("marenostrum4", "thunder"):
+        for threads in (1, 2, 4):
+            atom = result.speedup(cluster, Strategy.ATOMICS, threads)
+            color = result.speedup(cluster, Strategy.COLORING, threads)
+            multi = result.speedup(cluster, Strategy.MULTIDEP, threads)
+            # overhead of coloring/multidep vs the plain loop is bounded
+            assert color > 0.75 * atom, (cluster, threads)
+            assert multi > 0.75 * atom, (cluster, threads)
+
+        # hybrid (4 threads) outperforms the MPI-only execution
+        assert result.speedup(cluster, Strategy.ATOMICS, 4) > 1.0, cluster
+
+    # on Thunder the plain-loop hybrid clearly beats pure MPI (paper Fig. 7)
+    assert result.speedup("thunder", Strategy.ATOMICS, 4) > 1.05

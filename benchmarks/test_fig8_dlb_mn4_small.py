@@ -1,0 +1,29 @@
+"""Benchmark: Figure 8 — 4e5-scaled particles on MareNostrum4, orig vs DLB.
+
+Shape assertions (Sec. 4.4):
+
+* choosing a bad coupled split costs up to ~2x vs the best configuration;
+* DLB improves (or at least never hurts) every configuration;
+* with DLB the configuration choice barely matters (flat profile).
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_dlb_mn4_small(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    save_result(results_dir, "fig8_dlb_mn4_small", result.format())
+
+    # a bad configuration costs noticeably more than the best one
+    assert result.worst_original() > 1.3 * result.best_original()
+
+    # DLB improves every configuration
+    assert all(g >= 0.99 for g in result.dlb_gains())
+    assert max(result.dlb_gains()) > 1.2
+
+    # DLB flattens the configuration sensitivity
+    orig_spread = result.worst_original() / result.best_original()
+    assert result.dlb_spread() < orig_spread
+    assert result.dlb_spread() < 1.35

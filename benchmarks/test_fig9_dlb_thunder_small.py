@@ -1,0 +1,21 @@
+"""Benchmark: Figure 9 — 4e5-scaled particles on Thunder, orig vs DLB.
+
+Same trends as the Intel cluster (Fig. 8): bad splits cost up to ~2x, DLB
+improves all configurations and minimizes the effect of choosing a bad
+combination of MPI processes.
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_fig9
+
+
+def test_fig9_dlb_thunder_small(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    save_result(results_dir, "fig9_dlb_thunder_small", result.format())
+
+    assert result.worst_original() > 1.3 * result.best_original()
+    assert all(g >= 0.99 for g in result.dlb_gains())
+    assert max(result.dlb_gains()) > 1.2
+    orig_spread = result.worst_original() / result.best_original()
+    assert result.dlb_spread() < orig_spread

@@ -1,0 +1,38 @@
+"""Benchmark: Section 4.3 IPC counters — assembly IPC per strategy.
+
+Regenerates the hardware-counter observations:
+
+* Thunder MPI-only ~0.49, atomics ~0.42 (a 14 % reduction);
+* MareNostrum4 MPI-only ~2.25, atomics ~1.15 (a 50 % reduction);
+* multidep IPC within 94-96 % of the MPI-only IPC on both clusters.
+"""
+
+import pytest
+from conftest import save_result
+
+from repro.experiments import run_ipc_counters
+
+
+def test_ipc_counters(benchmark, results_dir):
+    result = benchmark.pedantic(run_ipc_counters, rounds=1, iterations=1)
+    save_result(results_dir, "ipc_counters", result.format())
+
+    # absolute IPC values near the paper's counters
+    assert result.ipc[("marenostrum4", "mpionly")] == pytest.approx(
+        2.25, abs=0.1)
+    assert result.ipc[("marenostrum4", "atomics")] == pytest.approx(
+        1.15, abs=0.15)
+    assert result.ipc[("thunder", "mpionly")] == pytest.approx(0.49,
+                                                               abs=0.03)
+    assert result.ipc[("thunder", "atomics")] == pytest.approx(0.42,
+                                                               abs=0.03)
+
+    # relative drops: ~50 % on Intel vs ~14 % on Arm
+    assert result.relative_drop("marenostrum4") == pytest.approx(0.50,
+                                                                 abs=0.08)
+    assert result.relative_drop("thunder") == pytest.approx(0.14, abs=0.05)
+
+    # multidep recovers 94-96 % of the MPI-only IPC
+    for cluster in ("marenostrum4", "thunder"):
+        frac = result.multidep_fraction(cluster)
+        assert 0.92 <= frac <= 0.97, cluster

@@ -1,0 +1,38 @@
+"""Benchmark: Table 1 — per-phase load balance and time share.
+
+Regenerates the paper's Table 1 (96 MPI ranks on one Thunder node, pure
+MPI, small particle load) and checks its shape:
+
+* phase ordering by time share: assembly > SGS > Solver1 > Solver2;
+* assembly and SGS visibly unbalanced, solvers well balanced;
+* the particles phase is catastrophically unbalanced (L ~ a few %).
+"""
+
+from conftest import save_result
+
+from repro.experiments import PAPER_TABLE1, run_table1
+
+
+def test_table1_phase_balance(benchmark, results_dir):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_result(results_dir, "table1", result.format())
+
+    rows = {r["phase"]: r for r in result.rows}
+    assert set(rows) >= set(PAPER_TABLE1)
+
+    # time-share ordering of the paper
+    share = {p: rows[p]["percent_time"] for p in PAPER_TABLE1}
+    assert share["assembly"] > share["sgs"] > share["solver1"] \
+        > share["solver2"]
+    # time shares within a reasonable band of the paper's values
+    for phase, (_, paper_pct) in PAPER_TABLE1.items():
+        assert abs(share[phase] - paper_pct) < 10.0, phase
+
+    # balance ordering: solvers balanced, element phases unbalanced,
+    # particles catastrophic
+    lb = {p: rows[p]["load_balance"] for p in PAPER_TABLE1}
+    assert lb["particles"] < 0.15
+    assert lb["assembly"] < lb["solver1"]
+    assert lb["sgs"] < lb["solver1"]
+    assert lb["solver1"] > 0.85 and lb["solver2"] > 0.85
+    assert 0.55 < lb["assembly"] < 0.95

@@ -1,0 +1,95 @@
+"""repro — reproduction of *"Computational Fluid and Particle Dynamics
+Simulations for Respiratory System: Runtime Optimization on an Arm
+Cluster"* (Garcia-Gasulla, Josep-Fabrego, Eguzkitza, Mantovani; ICPP 2018).
+
+The package contains, built from scratch:
+
+* the paper's **runtime techniques** — task graphs with OpenMP 5.0
+  ``mutexinoutset`` multidependences, a malleable OmpSs-like task runtime,
+  and the DLB/LeWI dynamic load-balancing library attached via PMPI
+  interception (:mod:`repro.core`);
+* every **substrate** they run on — a discrete-event simulation engine
+  (:mod:`repro.sim`), calibrated Intel/Arm cluster models
+  (:mod:`repro.machine`), a simulated MPI (:mod:`repro.smpi`), a hybrid
+  airway mesh generator (:mod:`repro.mesh`), graph partitioners and
+  coloring (:mod:`repro.partition`), finite-element assembly/solvers/SGS
+  (:mod:`repro.fem`, :mod:`repro.solver`), and Lagrangian particle
+  transport (:mod:`repro.particles`);
+* the **CFPD application** itself (:mod:`repro.app`), tracing/analysis
+  (:mod:`repro.trace`), and one experiment runner per table/figure of the
+  paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import RunConfig, WorkloadSpec, run_cfpd
+
+    result = run_cfpd(RunConfig(cluster="thunder", nranks=96, dlb=True),
+                      spec=WorkloadSpec(generations=4))
+    print(result.total_time, result.phase_summary())
+"""
+
+from .app import (
+    CostModel,
+    RunConfig,
+    RunResult,
+    Workload,
+    WorkloadSpec,
+    get_workload,
+    run_cfpd,
+)
+from .core import DLB, Strategy, StrategyParams, TaskGraph, Team
+from .fem import FlowBC, FractionalStepSolver
+from .machine import ClusterModel, energy_estimate, get_cluster, marenostrum4, thunder
+from .mesh import (
+    AirwayConfig,
+    AirwayMesh,
+    MeshResolution,
+    build_airway_mesh,
+    write_vtk,
+)
+from .particles import AirwayFlow, NewmarkTracker, ParticleState, inject_at_inlet
+from .smpi import World
+from .solver import bicgstab, cg, deflated_cg
+from .trace import PhaseLog, load_balance, pop_metrics, render_timeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AirwayConfig",
+    "AirwayFlow",
+    "AirwayMesh",
+    "ClusterModel",
+    "CostModel",
+    "DLB",
+    "FlowBC",
+    "FractionalStepSolver",
+    "MeshResolution",
+    "NewmarkTracker",
+    "ParticleState",
+    "PhaseLog",
+    "RunConfig",
+    "RunResult",
+    "Strategy",
+    "StrategyParams",
+    "TaskGraph",
+    "Team",
+    "Workload",
+    "WorkloadSpec",
+    "World",
+    "__version__",
+    "bicgstab",
+    "build_airway_mesh",
+    "cg",
+    "deflated_cg",
+    "energy_estimate",
+    "get_cluster",
+    "get_workload",
+    "inject_at_inlet",
+    "load_balance",
+    "marenostrum4",
+    "pop_metrics",
+    "render_timeline",
+    "run_cfpd",
+    "thunder",
+    "write_vtk",
+]

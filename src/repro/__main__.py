@@ -1,0 +1,181 @@
+"""Command-line interface: regenerate paper results or run custom setups.
+
+Usage::
+
+    python -m repro table1                # Table 1
+    python -m repro fig2                  # trace timeline (ASCII)
+    python -m repro fig6 | fig7           # hybrid strategy sweeps
+    python -m repro fig8 | fig9 | fig10 | fig11   # DLB figures
+    python -m repro ipc                   # Sec. 4.3 IPC counters
+    python -m repro run --cluster thunder --nranks 96 --dlb \\
+                        --mode coupled --fluid-ranks 64
+    python -m repro mesh --generations 5 --vtk airway.vtk
+
+Workload size flags (``--generations``, ``--steps``, ``--large``) apply to
+every experiment subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .app import (
+    LARGE_PARTICLE_RATIO,
+    SMALL_PARTICLE_RATIO,
+    RunConfig,
+    WorkloadSpec,
+    get_workload,
+    run_cfpd,
+)
+from .core import Strategy
+
+
+def _spec_from(args) -> WorkloadSpec:
+    kwargs = {}
+    if args.generations is not None:
+        kwargs["generations"] = args.generations
+    if args.steps is not None:
+        kwargs["n_steps"] = args.steps
+    kwargs["particle_ratio"] = (LARGE_PARTICLE_RATIO if args.large
+                                else SMALL_PARTICLE_RATIO)
+    return WorkloadSpec(**kwargs)
+
+
+def _add_workload_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--generations", type=int, default=None,
+                   help="airway tree depth (default 5; paper 7)")
+    p.add_argument("--steps", type=int, default=None,
+                   help="time steps to simulate (default 10)")
+    p.add_argument("--large", action="store_true",
+                   help="use the 7e6-scaled particle load (default 4e5)")
+
+
+def _cmd_experiment(name: str, args) -> int:
+    from . import experiments as exp
+
+    spec = _spec_from(args)
+    runner = {
+        "table1": lambda: exp.run_table1(spec=spec),
+        "fig6": lambda: exp.run_fig6(spec=spec),
+        "fig7": lambda: exp.run_fig7(spec=spec),
+        "fig8": lambda: exp.run_fig8(spec=spec),
+        "fig9": lambda: exp.run_fig9(spec=spec),
+        "fig10": lambda: exp.run_fig10(spec=spec),
+        "fig11": lambda: exp.run_fig11(spec=spec),
+        "ipc": lambda: exp.run_ipc_counters(spec=spec),
+    }[name]
+    result = runner()
+    print(result.format())
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from .experiments import run_fig2
+
+    result = run_fig2(spec=_spec_from(args), step=args.step)
+    print(result.render(width=args.width))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = _spec_from(args)
+    workload = get_workload(spec)
+    config = RunConfig(
+        cluster=args.cluster,
+        nranks=args.nranks,
+        threads_per_rank=args.threads,
+        mode=args.mode,
+        fluid_ranks=args.fluid_ranks,
+        assembly_strategy=Strategy(args.assembly),
+        sgs_strategy=Strategy(args.sgs),
+        dlb=args.dlb)
+    result = run_cfpd(config, workload=workload)
+    print(f"workload: {workload.mesh}, {workload.total_injected} particles")
+    print(f"config:   {config.label()} on {args.cluster}, "
+          f"{args.nranks}x{args.threads}")
+    print(f"total simulated time: {result.total_time * 1e3:.3f} ms "
+          f"({spec.n_steps} steps)")
+    for row in result.phase_summary():
+        print(f"  {row['phase']:10s} L={row['load_balance']:.2f} "
+              f"{row['percent_time']:5.1f}%")
+    if args.dlb:
+        s = result.dlb_stats
+        print(f"DLB: {s.lend_events} lends, {s.cores_borrowed_total} cores "
+              f"borrowed, peak team {s.max_team_capacity}")
+    return 0
+
+
+def _cmd_mesh(args) -> int:
+    from .mesh import AirwayConfig, MeshResolution, build_airway_mesh, write_vtk
+
+    airway = build_airway_mesh(
+        AirwayConfig(generations=args.generations
+                     if args.generations is not None else 5),
+        MeshResolution())
+    print(airway.mesh)
+    print(f"{len(airway.segments)} segments, "
+          f"{len(airway.junction_pairs)} junctions")
+    if args.vtk:
+        write_vtk(airway.mesh, args.vtk)
+        print(f"wrote {args.vtk}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point (``python -m repro ...``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICPP'18 CFPD runtime-optimization reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("table1", "fig6", "fig7", "fig8", "fig9", "fig10",
+                 "fig11", "ipc"):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_workload_flags(p)
+
+    p = sub.add_parser("fig2", help="regenerate the Fig. 2 trace timeline")
+    _add_workload_flags(p)
+    p.add_argument("--step", type=int, default=0)
+    p.add_argument("--width", type=int, default=100)
+
+    p = sub.add_parser("run", help="run a custom configuration")
+    _add_workload_flags(p)
+    p.add_argument("--cluster", default="thunder",
+                   choices=["thunder", "marenostrum4", "mn4"])
+    p.add_argument("--nranks", type=int, default=96)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--mode", default="sync", choices=["sync", "coupled"])
+    p.add_argument("--fluid-ranks", type=int, default=0)
+    p.add_argument("--assembly", default="multidep",
+                   choices=[s.value for s in Strategy])
+    p.add_argument("--sgs", default="atomics",
+                   choices=[s.value for s in Strategy])
+    p.add_argument("--dlb", action="store_true")
+
+    p = sub.add_parser("all", help="regenerate every artifact into a dir")
+    _add_workload_flags(p)
+    p.add_argument("--out", default="results", metavar="DIR")
+
+    p = sub.add_parser("mesh", help="generate the airway mesh")
+    p.add_argument("--generations", type=int, default=5)
+    p.add_argument("--vtk", default=None, metavar="FILE",
+                   help="write the mesh as legacy VTK")
+
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        from .experiments import generate_all
+
+        generate_all(args.out, spec=_spec_from(args))
+        return 0
+    if args.command == "fig2":
+        return _cmd_fig2(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "mesh":
+        return _cmd_mesh(args)
+    return _cmd_experiment(args.command, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""The CFPD application (Alya work-alike): cost model, numeric workload,
+and the configurable simulation driver."""
+
+from .costs import CostModel, DEFAULT_COSTS
+from .driver import RunConfig, RunResult, run_cfpd
+from .workload import (
+    LARGE_PARTICLE_RATIO,
+    SMALL_PARTICLE_RATIO,
+    Workload,
+    WorkloadSpec,
+    get_workload,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "LARGE_PARTICLE_RATIO",
+    "RunConfig",
+    "RunResult",
+    "SMALL_PARTICLE_RATIO",
+    "Workload",
+    "WorkloadSpec",
+    "get_workload",
+    "run_cfpd",
+]

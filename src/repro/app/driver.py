@@ -1,0 +1,399 @@
+"""The CFPD application driver — the Alya work-alike.
+
+Runs the respiratory-simulation time step under a configurable runtime
+setup on the simulated cluster:
+
+* **synchronous mode** (paper Fig. 3 top): every rank executes, per step,
+  matrix assembly -> momentum solve (Solver1) -> continuity solve
+  (Solver2) -> subgrid scale (SGS) -> particle transport -> migration;
+* **coupled mode** (Fig. 3 bottom): ``f`` ranks run the fluid phases and
+  ship nodal velocities to ``p = n - f`` ranks that run the particle
+  transport, pipelined across steps.
+
+Each phase executes as a task graph built by the configured strategy
+(ATOMICS / COLORING / MULTIDEP for the racy element loops), on the rank's
+malleable thread team; MPI calls go through the simulated MPI layer whose
+PMPI hooks feed DLB when enabled.  Phase timings land in a
+:class:`~repro.trace.PhaseLog` — the source of every table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..core import (
+    DLB,
+    Strategy,
+    StrategyParams,
+    Team,
+    build_element_loop_graph,
+    build_parallel_for_graph,
+)
+from ..machine import get_cluster
+from ..smpi import World
+from ..sim import Engine
+from ..trace import PhaseLog
+from .costs import CostModel, DEFAULT_COSTS
+from .workload import Workload, WorkloadSpec, get_workload
+
+__all__ = ["RunConfig", "RunResult", "run_cfpd"]
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One runtime configuration of the CFPD simulation."""
+
+    cluster: str = "marenostrum4"
+    num_nodes: int = 2
+    nranks: int = 96
+    threads_per_rank: int = 1
+    mode: str = "sync"                 # "sync" | "coupled"
+    fluid_ranks: int = 0               # coupled mode: f (particles = n - f)
+    assembly_strategy: Strategy = Strategy.MULTIDEP
+    sgs_strategy: Strategy = Strategy.ATOMICS
+    dlb: bool = False
+    mapping: Optional[str] = None      # None: block for sync, cyclic coupled
+    subdomains_per_rank: int = 64
+    subdomain_min_shared: int = 4
+    partition_method: str = "rcb"
+    strategy_params: StrategyParams = StrategyParams()
+    #: attach a Tracer to the MPI world (raw blocking-call intervals in
+    #: RunResult.tracer; costs memory on long runs)
+    collect_mpi_trace: bool = False
+    #: team task scheduler: "lpt" (default), "fifo" or "lifo"
+    scheduler: str = "lpt"
+
+    def resolved_mapping(self) -> str:
+        """Process placement: interleave the two codes in coupled mode so
+        DLB (shared-memory only) can lend between them."""
+        if self.mapping is not None:
+            return self.mapping
+        return "cyclic" if self.mode == "coupled" else "block"
+
+    def label(self) -> str:
+        """Short human-readable descriptor (figure x-axis labels)."""
+        if self.mode == "coupled":
+            base = f"{self.fluid_ranks}+{self.nranks - self.fluid_ranks}"
+        else:
+            base = f"sync {self.nranks}x{self.threads_per_rank}"
+        return base + (" +DLB" if self.dlb else "")
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated CFPD run."""
+
+    config: RunConfig
+    total_time: float                  # simulated seconds for n_steps
+    phase_log: PhaseLog
+    dlb_stats: object
+    solver_info: dict
+    deposition: dict
+    n_particles: int
+    tracer: object = None              # Tracer if collect_mpi_trace
+
+    def mpi_seconds_by_rank(self):
+        """Blocking-MPI time per rank (needs collect_mpi_trace=True)."""
+        if self.tracer is None:
+            raise ValueError("run with collect_mpi_trace=True")
+        import numpy as np
+        out = np.zeros(self.config.nranks)
+        for iv in self.tracer.by_category("mpi"):
+            out[iv.rank] += iv.duration
+        return out
+
+    def phase_summary(self) -> list[dict]:
+        """Table-1 rows."""
+        return self.phase_log.summary()
+
+    def ipc(self, phase: str) -> float:
+        """Achieved IPC of ``phase`` on this run's core."""
+        freq = get_cluster(self.config.cluster).node.core.freq_ghz
+        return self.phase_log.ipc(phase, freq)
+
+    def step_times(self) -> list:
+        """Wall-clock duration of each simulated time step."""
+        from collections import defaultdict
+        spans: dict = defaultdict(lambda: [float("inf"), 0.0])
+        for sample in self.phase_log.samples:
+            lo, hi = spans[sample.step]
+            spans[sample.step] = [min(lo, sample.t0), max(hi, sample.t1)]
+        return [spans[s][1] - spans[s][0] for s in sorted(spans)]
+
+    def pop_metrics(self):
+        """POP efficiencies (LB x CommE = PE) of the whole run."""
+        from ..trace import pop_from_phase_log
+        return pop_from_phase_log(self.phase_log, self.total_time)
+
+    def energy_joules(self) -> float:
+        """Estimated energy-to-solution (see repro.machine.energy)."""
+        import numpy as np
+
+        from ..machine import energy_estimate
+        cluster = get_cluster(self.config.cluster, self.config.num_nodes)
+        busy = np.zeros(self.config.nranks)
+        for s in self.phase_log.samples:
+            busy[s.rank] += s.busy
+        cores = self.config.nranks * self.config.threads_per_rank
+        return energy_estimate(cluster.name, busy, self.total_time, cores,
+                               num_nodes=self.config.num_nodes)
+
+
+# ---------------------------------------------------------------------------
+# graph construction
+# ---------------------------------------------------------------------------
+
+class _RunContext:
+    """Prebuilt graphs and metadata shared by all rank programs of a run."""
+
+    def __init__(self, workload: Workload, config: RunConfig,
+                 costs: CostModel):
+        self.workload = workload
+        self.config = config
+        self.costs = costs
+        self.spec = workload.spec
+        self.log = PhaseLog(config.nranks)
+        self.teams: dict[int, Team] = {}
+        nthreads = config.threads_per_rank
+        if config.mode == "sync":
+            fluid_n = config.nranks
+            self.fluid_world_ranks = list(range(config.nranks))
+            self.particle_world_ranks = list(range(config.nranks))
+            particle_n = config.nranks
+        else:
+            f = config.fluid_ranks
+            if not 1 <= f <= config.nranks - 1:
+                raise ValueError(
+                    f"coupled mode needs 1 <= fluid_ranks < nranks "
+                    f"(got {f} of {config.nranks})")
+            fluid_n = f
+            particle_n = config.nranks - f
+            self.fluid_world_ranks = list(range(f))
+            self.particle_world_ranks = list(range(f, config.nranks))
+        fluid_dd = workload.decomposition(
+            fluid_n, subdomains_per_rank=config.subdomains_per_rank,
+            method=config.partition_method,
+            min_shared_nodes=config.subdomain_min_shared)
+        hist = workload.particle_histograms(particle_n,
+                                            method=config.partition_method)
+        cluster = get_cluster(config.cluster, config.num_nodes)
+        particle_chunks = 2 * cluster.node.cores
+        # fluid-phase graphs, indexed by fluid-local rank
+        self.assembly = []
+        self.sgs = []
+        self.solver1 = []
+        self.solver2 = []
+        self.halo_neighbors = []
+        solves = workload.solve_fluid_step()
+        for rw in fluid_dd.ranks:
+            self.assembly.append(build_element_loop_graph(
+                rw.assembly_instr, rw.assembly_atomics,
+                config.assembly_strategy, nthreads,
+                colors=rw.colors, sub_labels=rw.sub_labels,
+                sub_adjacency=rw.sub_adjacency,
+                params=config.strategy_params, label="assembly"))
+            self.sgs.append(build_element_loop_graph(
+                rw.sgs_instr, np.zeros_like(rw.sgs_instr),
+                config.sgs_strategy, nthreads,
+                colors=rw.colors, sub_labels=rw.sub_labels,
+                sub_adjacency=rw.sub_adjacency, race_free=True,
+                params=config.strategy_params, label="sgs"))
+            s1_work = (costs.solver1_iterations * rw.solver_nnz
+                       * costs.solver_instr_per_nnz)
+            s2_work = (costs.solver2_iterations * rw.solver_nnz
+                       * costs.solver_instr_per_nnz)
+            nchunks = max(costs.min_chunks, nthreads * 4)
+            self.solver1.append(build_parallel_for_graph(
+                np.full(nchunks, s1_work / nchunks), nthreads,
+                min_chunks=costs.min_chunks, label="solver1"))
+            self.solver2.append(build_parallel_for_graph(
+                np.full(nchunks, s2_work / nchunks), nthreads,
+                min_chunks=costs.min_chunks, label="solver2"))
+            self.halo_neighbors.append(rw.neighbors)
+        # particle-phase graphs: [particle-local rank][step]
+        self.particles = []
+        for pr in range(particle_n):
+            per_step = []
+            for s in range(self.spec.n_steps):
+                count = int(hist[s, pr])
+                per_step.append(build_parallel_for_graph(
+                    np.full(count, costs.particle_instr), nthreads,
+                    min_chunks=particle_chunks, label="particles"))
+            self.particles.append(per_step)
+        # migration volume per step (total particles in flight is an upper
+        # bound for what crosses rank boundaries)
+        self.migration_bytes = [
+            max(1.0, hist[s].sum() * costs.particle_bytes / max(1, particle_n))
+            for s in range(self.spec.n_steps)]
+        self.solver_info = solves
+        # coupled-mode exchange topology
+        if config.mode == "coupled":
+            overlap = workload.overlap_bytes(fluid_n, particle_n,
+                                             method=config.partition_method)
+            self.sends = [[] for _ in range(fluid_n)]
+            self.recvs = [[] for _ in range(particle_n)]
+            for i in range(fluid_n):
+                for j in range(particle_n):
+                    if overlap[i, j] > 0:
+                        self.sends[i].append(
+                            (self.particle_world_ranks[j],
+                             float(overlap[i, j])))
+                        self.recvs[j].append(self.fluid_world_ranks[i])
+        self.sub_comms: dict = {}
+
+
+# ---------------------------------------------------------------------------
+# rank programs
+# ---------------------------------------------------------------------------
+
+def _run_phase(ctx: _RunContext, comm, team, step, phase, graph):
+    stats = yield from team.run(graph)
+    ctx.log.add(step, phase, comm.rank, stats.t_start, stats.t_end,
+                stats.busy_seconds, stats.instructions)
+    return stats
+
+
+def _halo_exchange(ctx: _RunContext, sub_comm, local_rank, tag):
+    """Point-to-point halo exchange with the partition neighbours: post
+    all sends and receives, then wait (where DLB can lend cores)."""
+    neighbors = ctx.halo_neighbors[local_rank]
+    reqs = [sub_comm.isend(None, dest=nb, tag=tag, nbytes=nbytes)
+            for nb, nbytes in neighbors]
+    reqs += [sub_comm.irecv(source=nb, tag=tag) for nb, _ in neighbors]
+    if reqs:
+        yield from sub_comm.waitall(reqs)
+
+
+def _fluid_phases(ctx: _RunContext, world_comm, sub_comm, team, local_rank,
+                  step):
+    """Assembly, solvers and SGS of one step (shared by both modes).
+
+    Synchronization structure follows Alya: the assembly ends with a
+    point-to-point halo exchange (neighbour-local sync only); the first
+    global synchronization of each solver is its initial residual-norm
+    allreduce, which precedes the iteration work — so waiting for slower
+    ranks is accounted as MPI time, not as solver time.
+    """
+    yield from _run_phase(ctx, world_comm, team, step, "assembly",
+                          ctx.assembly[local_rank])
+    yield from _halo_exchange(ctx, sub_comm, local_rank, tag=1000 + step)
+    yield from sub_comm.allreduce(
+        0.0, nbytes=16.0 * ctx.costs.solver1_iterations)
+    yield from _run_phase(ctx, world_comm, team, step, "solver1",
+                          ctx.solver1[local_rank])
+    yield from sub_comm.allreduce(
+        0.0, nbytes=16.0 * ctx.costs.solver2_iterations)
+    yield from _run_phase(ctx, world_comm, team, step, "solver2",
+                          ctx.solver2[local_rank])
+    yield from sub_comm.allreduce(0.0, nbytes=8.0)
+    yield from _run_phase(ctx, world_comm, team, step, "sgs",
+                          ctx.sgs[local_rank])
+    yield from sub_comm.allreduce(0.0, nbytes=8.0)
+
+
+def _sync_program(comm, ctx: _RunContext):
+    team = ctx.teams[comm.rank]
+    for step in range(ctx.spec.n_steps):
+        yield from _fluid_phases(ctx, comm, comm, team, comm.rank, step)
+        yield from _run_phase(ctx, comm, team, step, "particles",
+                              ctx.particles[comm.rank][step])
+        yield from comm.alltoall([None] * comm.size,
+                                 nbytes=ctx.migration_bytes[step])
+    yield from comm.barrier()
+
+
+def _coupled_fluid_program(comm, ctx: _RunContext, sub_comm):
+    team = ctx.teams[comm.rank]
+    local = comm.rank  # fluid world ranks are 0..f-1
+    for step in range(ctx.spec.n_steps):
+        yield from _fluid_phases(ctx, comm, sub_comm, team, local, step)
+        reqs = [comm.isend(None, dest=pj, tag=step, nbytes=nbytes)
+                for pj, nbytes in ctx.sends[local]]
+        if reqs:
+            yield from comm.waitall(reqs)
+    yield from comm.barrier()
+
+
+def _coupled_particle_program(comm, ctx: _RunContext, sub_comm):
+    team = ctx.teams[comm.rank]
+    local = comm.rank - ctx.config.fluid_ranks
+    for step in range(ctx.spec.n_steps):
+        reqs = [comm.irecv(source=fi, tag=step) for fi in ctx.recvs[local]]
+        if reqs:
+            yield from comm.waitall(reqs)
+        yield from _run_phase(ctx, comm, team, step, "particles",
+                              ctx.particles[local][step])
+        yield from sub_comm.alltoall([None] * sub_comm.size,
+                                     nbytes=ctx.migration_bytes[step])
+    yield from comm.barrier()
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def run_cfpd(config: RunConfig,
+             spec: Optional[WorkloadSpec] = None,
+             workload: Optional[Workload] = None,
+             costs: CostModel = DEFAULT_COSTS) -> RunResult:
+    """Run the CFPD simulation under ``config`` and return its metrics.
+
+    The numeric workload is computed (or fetched from the cache) once; the
+    distributed execution is then simulated on the configured cluster.
+    """
+    wl = workload if workload is not None else get_workload(
+        spec or WorkloadSpec(), costs)
+    cluster = get_cluster(config.cluster, config.num_nodes)
+    needed = config.nranks * config.threads_per_rank
+    if needed > cluster.total_cores:
+        raise ValueError(
+            f"{config.nranks} ranks x {config.threads_per_rank} threads "
+            f"exceed the {cluster.total_cores} cores of {cluster.name}")
+    ctx = _RunContext(wl, config, costs)
+    engine = Engine()
+    world = World(engine, cluster, config.nranks,
+                  mapping=config.resolved_mapping())
+    tracer = None
+    if config.collect_mpi_trace:
+        from ..trace import Tracer
+        tracer = Tracer()
+        world.recorder = tracer
+    dlb = DLB(world, enabled=config.dlb)
+    for r in range(config.nranks):
+        team = Team(engine, cluster.node.core, config.threads_per_rank,
+                    rank=r, scheduler=config.scheduler)
+        ctx.teams[r] = team
+        dlb.attach_team(r, team)
+    if config.mode == "sync":
+        procs = world.launch(_sync_program, ctx)
+    elif config.mode == "coupled":
+        f = config.fluid_ranks
+        groups = world.split([ctx.fluid_world_ranks,
+                              ctx.particle_world_ranks])
+        fluid_comms, particle_comms = groups
+        procs = []
+        for r in range(config.nranks):
+            comm = world.comm_world(r)
+            if r < f:
+                procs.append(engine.process(
+                    _coupled_fluid_program(comm, ctx, fluid_comms[r]),
+                    name=f"fluid{r}"))
+            else:
+                procs.append(engine.process(
+                    _coupled_particle_program(comm, ctx,
+                                              particle_comms[r - f]),
+                    name=f"part{r - f}"))
+    else:
+        raise ValueError(f"unknown mode {config.mode!r}")
+    world.run(procs)
+    return RunResult(config=config,
+                     total_time=engine.now,
+                     phase_log=ctx.log,
+                     dlb_stats=dlb.stats,
+                     solver_info=ctx.solver_info,
+                     deposition=wl.deposition_summary(),
+                     n_particles=wl.n_particles,
+                     tracer=tracer)

@@ -1,0 +1,40 @@
+"""The paper's contribution: task-based runtime techniques.
+
+* :mod:`repro.core.taskgraph` — dependence model incl. ``MUTEXINOUTSET`` and
+  runtime-computed multidependences (OpenMP 5.0 iterators).
+* :mod:`repro.core.runtime` — malleable OmpSs-like task execution teams.
+* :mod:`repro.core.strategies` — atomics / coloring / multidependences
+  parallelizations of racy element loops (paper Fig. 4).
+* :mod:`repro.core.dlb` — the DLB/LeWI dynamic load balancing library
+  attached via PMPI interception (paper Sec. 3.2).
+"""
+
+from .dlb import DLB, DLBStats
+from .runtime import GraphStats, Team, TeamListener
+from .strategies import (
+    DEFAULT_PARAMS,
+    Strategy,
+    StrategyParams,
+    build_element_loop_graph,
+    build_parallel_for_graph,
+    chunk_sizes,
+)
+from .taskgraph import DepType, Task, TaskGraph, TaskGraphError
+
+__all__ = [
+    "DLB",
+    "DLBStats",
+    "DEFAULT_PARAMS",
+    "DepType",
+    "GraphStats",
+    "Strategy",
+    "StrategyParams",
+    "Task",
+    "TaskGraph",
+    "TaskGraphError",
+    "Team",
+    "TeamListener",
+    "build_element_loop_graph",
+    "build_parallel_for_graph",
+    "chunk_sizes",
+]

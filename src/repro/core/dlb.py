@@ -1,0 +1,216 @@
+"""DLB — Dynamic Load Balancing library (LeWI policy).
+
+Reimplementation of the behaviour of BSC's DLB library as evaluated in the
+paper: a runtime that is *transparent to the application* (it attaches via
+PMPI interception and resizes OpenMP teams; no source changes) and reacts to
+load imbalance as it appears:
+
+* when an MPI process enters a blocking MPI call, its cores are **lent** to
+  the node-local pool (LeWI: "Lend When Idle");
+* hungry teams on the same node (those with more runnable tasks than cores)
+  **borrow** from the pool immediately;
+* when the blocked process returns from MPI it **reclaims** its cores —
+  taken back from the pool or, if already re-assigned, from borrowers at
+  task-boundary granularity (the granularity at which the real DLB acts via
+  ``omp_set_num_threads``).
+
+DLB only ever moves cores *within a node* (it works over shared memory),
+which is why the process-to-node mapping matters for coupled executions.
+
+Usage::
+
+    world = World(engine, cluster, nranks)
+    dlb = DLB(world)                    # registers the PMPI hook
+    dlb.attach_team(rank, team)         # one team per rank
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..smpi import World
+from .runtime import Team
+
+__all__ = ["DLB", "DLBStats"]
+
+
+@dataclass
+class DLBStats:
+    """Counters describing DLB activity during a run."""
+
+    lend_events: int = 0
+    borrow_events: int = 0
+    reclaim_events: int = 0
+    cores_lent_total: int = 0
+    cores_borrowed_total: int = 0
+    max_team_capacity: int = 0
+
+
+class DLB:
+    """LeWI dynamic load balancing over a simulated MPI world.
+
+    Parameters
+    ----------
+    world:
+        The MPI job to attach to (the PMPI hook is registered here).
+    enabled:
+        If False the object records nothing and never moves cores — handy
+        for "original vs DLB" experiment sweeps sharing one code path.
+    """
+
+    POLICIES = ("lewi", "lewi_half")
+
+    def __init__(self, world: World, enabled: bool = True,
+                 policy: str = "lewi"):
+        if policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown DLB policy {policy!r}; available: {self.POLICIES}")
+        self.world = world
+        self.enabled = enabled
+        self.policy = policy
+        self.teams: Dict[int, Team] = {}
+        self._pool: Dict[int, int] = {}          # node -> spare cores
+        self._lent: Dict[int, int] = {}          # rank -> cores donated
+        self._borrowed: Dict[int, int] = {}      # rank -> extra cores held
+        self._in_mpi: Dict[int, bool] = {}
+        self.stats = DLBStats()
+        if enabled:
+            world.hooks.register(self)
+
+    # -- setup ----------------------------------------------------------------
+    def attach_team(self, rank: int, team: Team) -> None:
+        """Register the thread team of ``rank`` for balancing."""
+        self.teams[rank] = team
+        self._lent[rank] = 0
+        self._borrowed[rank] = 0
+        self._in_mpi[rank] = False
+        node = self.world.node_of(rank)
+        self._pool.setdefault(node, 0)
+        if self.enabled:
+            team.listener = self
+
+    # -- PMPI hook interface ----------------------------------------------------
+    def on_mpi_enter(self, rank: int, call: str) -> None:
+        """PMPI hook: ``rank`` blocked in MPI — lend its idle cores."""
+        if rank not in self.teams:
+            return
+        self._in_mpi[rank] = True
+        team = self.teams[rank]
+        if team.is_running and team.active_workers > 0:
+            return  # mid-graph blocking: keep the cores (rare in fork-join)
+        node = self.world.node_of(rank)
+        own_available = team.base_threads - self._lent[rank]
+        if self.policy == "lewi_half" and own_available > 1:
+            # conservative variant: keep half of the own cores so reclaim
+            # after short MPI calls is instantaneous
+            own_lend = (own_available + 1) // 2
+        else:
+            own_lend = own_available
+        give = self._borrowed[rank] + own_lend
+        if give <= 0:
+            return
+        self._borrowed[rank] = 0
+        self._lent[rank] += own_lend
+        team.set_capacity(team.base_threads - self._lent[rank])
+        self._pool[node] += give
+        self.stats.lend_events += 1
+        self.stats.cores_lent_total += give
+        self._feed(node)
+
+    def on_mpi_exit(self, rank: int, call: str) -> None:
+        """PMPI hook: ``rank`` resumed — reclaim its lent cores."""
+        if rank not in self.teams:
+            return
+        self._in_mpi[rank] = False
+        team = self.teams[rank]
+        need = self._lent[rank]
+        if need <= 0:
+            return
+        node = self.world.node_of(rank)
+        taken = min(need, self._pool[node])
+        self._pool[node] -= taken
+        need -= taken
+        if need > 0:
+            # Pull back from borrowers (largest borrowers first).
+            for other in sorted(self._borrowers_on(node),
+                                key=lambda r: -self._borrowed[r]):
+                if need <= 0:
+                    break
+                k = min(need, self._borrowed[other])
+                self._borrowed[other] -= k
+                other_team = self.teams[other]
+                other_team.set_capacity(other_team.capacity - k)
+                need -= k
+        if need > 0:  # pragma: no cover - accounting invariant
+            raise RuntimeError(
+                f"DLB lost track of {need} cores for rank {rank}")
+        self._lent[rank] = 0
+        team.set_capacity(team.base_threads)
+        self.stats.reclaim_events += 1
+
+    # -- Team listener interface -------------------------------------------------
+    def on_team_hungry(self, team: Team) -> None:
+        """Team listener: grant pooled cores to a capacity-bound team."""
+        rank = team.rank
+        if rank not in self.teams or self._in_mpi.get(rank):
+            return
+        node = self.world.node_of(rank)
+        self._grant(node, rank)
+
+    def on_team_idle(self, team: Team) -> None:
+        """Team listener: return a finished team's borrowed cores."""
+        rank = team.rank
+        if rank not in self.teams:
+            return
+        extra = self._borrowed[rank]
+        if extra <= 0:
+            return
+        node = self.world.node_of(rank)
+        self._borrowed[rank] = 0
+        team.set_capacity(team.base_threads - self._lent[rank])
+        self._pool[node] += extra
+        self._feed(node)
+
+    # -- internals --------------------------------------------------------
+    def _borrowers_on(self, node: int):
+        return [r for r in self.teams
+                if self.world.node_of(r) == node and self._borrowed[r] > 0]
+
+    def _grant(self, node: int, rank: int) -> None:
+        """Give pool cores to ``rank``'s team, bounded by its appetite."""
+        pool = self._pool.get(node, 0)
+        if pool <= 0:
+            return
+        team = self.teams[rank]
+        appetite = team.ready_count
+        k = min(pool, appetite)
+        if k <= 0:
+            return
+        self._pool[node] = pool - k
+        self._borrowed[rank] += k
+        team.set_capacity(team.capacity + k)
+        self.stats.borrow_events += 1
+        self.stats.cores_borrowed_total += k
+        self.stats.max_team_capacity = max(self.stats.max_team_capacity,
+                                           team.capacity)
+
+    def _feed(self, node: int) -> None:
+        """Distribute pooled cores among currently hungry teams on ``node``."""
+        hungry = [r for r in self.teams
+                  if self.world.node_of(r) == node
+                  and not self._in_mpi.get(r)
+                  and self.teams[r].wants_cores]
+        for rank in hungry:
+            if self._pool.get(node, 0) <= 0:
+                break
+            self._grant(node, rank)
+
+    # -- introspection -----------------------------------------------------
+    def pool_size(self, node: int) -> int:
+        """Spare cores currently pooled on ``node``."""
+        return self._pool.get(node, 0)
+
+    def borrowed_by(self, rank: int) -> int:
+        """Extra cores ``rank``'s team currently holds."""
+        return self._borrowed.get(rank, 0)

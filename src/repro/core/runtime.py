@@ -1,0 +1,276 @@
+"""OmpSs/OpenMP-like task runtime executing task graphs on simulated cores.
+
+Each MPI rank owns a :class:`Team` — its OpenMP thread team.  A team executes
+a :class:`~repro.core.taskgraph.TaskGraph` with a *malleable* worker count:
+DLB can shrink it (cores are lent away when the rank blocks in MPI) or grow
+it (cores borrowed from blocked ranks), with changes taking effect at task
+boundaries — the same granularity at which the real DLB/LeWI reacts through
+``omp_set_num_threads``.
+
+Scheduling semantics:
+
+* a task becomes *ready* when all its DAG predecessors have finished;
+* a ready task is *runnable* when none of its ``MUTEXINOUTSET`` refs is held
+  by a running task; the scheduler acquires all refs atomically (the DES
+  scheduler is a single logical lock, so no deadlock is possible);
+* ready tasks are dispatched FIFO with runnable-first scanning, which keeps
+  consecutive (memory-contiguous) chunks on the same worker when possible —
+  the locality property the paper attributes to multidependences.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+from ..machine import CoreModel
+from ..sim import Engine, Event
+from .taskgraph import Task, TaskGraph
+
+__all__ = ["Team", "GraphStats", "TeamListener", "RuntimeError_"]
+
+
+class RuntimeError_(RuntimeError):
+    """Raised on illegal team usage (e.g. overlapping run() calls)."""
+
+
+class TeamListener(Protocol):
+    """Observer of a team's appetite for cores (implemented by DLB)."""
+
+    def on_team_hungry(self, team: "Team") -> None:
+        """``team`` has runnable tasks it cannot dispatch (wants cores)."""
+
+    def on_team_idle(self, team: "Team") -> None:
+        """``team`` finished its graph (borrowed cores can be returned)."""
+
+
+@dataclass
+class GraphStats:
+    """Execution statistics of one graph run on a team."""
+
+    tasks_run: int = 0
+    instructions: float = 0.0
+    busy_seconds: float = 0.0       # sum over workers of task execution time
+    overhead_seconds: float = 0.0   # task-management overhead (not useful work)
+    t_start: float = 0.0
+    t_end: float = 0.0
+    max_concurrency: int = 0
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock duration of the graph execution."""
+        return self.t_end - self.t_start
+
+    def ipc(self, core: CoreModel) -> float:
+        """Achieved instructions-per-cycle over the busy time (as a
+        hardware counter would measure it)."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        cycles = self.busy_seconds * core.freq_ghz * 1e9
+        return self.instructions / cycles
+
+
+class Team:
+    """A rank's thread team: a malleable pool of simulated cores.
+
+    Parameters
+    ----------
+    engine, core:
+        DES engine and the core performance model of the host node.
+    nthreads:
+        Base worker count (the rank's own cores).
+    task_overhead_s:
+        Fixed runtime-bookkeeping cost added to every task execution
+        (task creation + dependence management; relevant for multidep).
+    rank / name:
+        Identity used in traces.
+    recorder:
+        Optional object with ``record(rank, category, label, t0, t1)``.
+    listener:
+        Optional :class:`TeamListener` (DLB).
+    """
+
+    SCHEDULERS = ("lpt", "fifo", "lifo")
+
+    def __init__(self, engine: Engine, core: CoreModel, nthreads: int,
+                 task_overhead_s: float = 0.0, rank: int = 0, name: str = "",
+                 recorder=None, listener: Optional[TeamListener] = None,
+                 scheduler: str = "lpt"):
+        if nthreads < 0:
+            raise RuntimeError_(f"nthreads must be >= 0, got {nthreads}")
+        if scheduler not in self.SCHEDULERS:
+            raise RuntimeError_(
+                f"unknown scheduler {scheduler!r}; available: "
+                f"{self.SCHEDULERS}")
+        self.engine = engine
+        self.core = core
+        self.base_threads = nthreads
+        self.rank = rank
+        self.name = name or f"team{rank}"
+        self.task_overhead_s = task_overhead_s
+        self.recorder = recorder
+        self.listener = listener
+        self.scheduler = scheduler
+        self._max_workers = nthreads
+        self._active = 0
+        self._ready: deque[Task] = deque()
+        self._held_refs: set = set()
+        self._graph: Optional[TaskGraph] = None
+        self._remaining = 0
+        self._preds_left: list[int] = []
+        self._done: Optional[Event] = None
+        self._stats: Optional[GraphStats] = None
+        self._hungry_notified = False
+
+    # -- capacity (the DLB surface) -----------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Current worker-count ceiling (base + borrowed - lent)."""
+        return self._max_workers
+
+    @property
+    def active_workers(self) -> int:
+        """Workers currently executing a task."""
+        return self._active
+
+    @property
+    def is_running(self) -> bool:
+        """Whether a graph is currently being executed."""
+        return self._graph is not None
+
+    @property
+    def ready_count(self) -> int:
+        """Tasks currently ready (waiting for a worker)."""
+        return len(self._ready)
+
+    @property
+    def wants_cores(self) -> bool:
+        """Whether extra capacity would be used right now."""
+        return (self._graph is not None
+                and self._active >= self._max_workers
+                and self._runnable_index() is not None)
+
+    def set_capacity(self, n: int) -> None:
+        """Change the worker ceiling; growth dispatches immediately, shrink
+        takes effect as running tasks complete."""
+        if n < 0:
+            raise RuntimeError_(f"capacity must be >= 0, got {n}")
+        grew = n > self._max_workers
+        self._max_workers = n
+        if grew and self._graph is not None:
+            self._dispatch()
+
+    # -- execution ------------------------------------------------------------
+    def run(self, graph: TaskGraph):
+        """Execute ``graph`` to completion (generator; use ``yield from``).
+
+        Returns the :class:`GraphStats` of the run.
+        """
+        if self._graph is not None:
+            raise RuntimeError_(f"{self.name}: run() while a graph is active")
+        stats = GraphStats(t_start=self.engine.now)
+        if len(graph) == 0:
+            stats.t_end = self.engine.now
+            return stats
+        self._graph = graph
+        self._stats = stats
+        self._remaining = len(graph.tasks)
+        self._preds_left = [t.n_preds for t in graph.tasks]
+        self._ready.extend(graph.roots())
+        self._done = self.engine.event()
+        self._hungry_notified = False
+        self._dispatch()
+        result = yield self._done
+        return result
+
+    # -- internals --------------------------------------------------------
+    def _runnable_index(self) -> Optional[int]:
+        """Index in the ready deque of the best runnable task, if any.
+
+        The default policy is largest-runnable-first (``lpt``): among
+        mutex-free ready tasks, pick the one with the most work — the
+        classic makespan heuristic, approximating what priority-aware task
+        runtimes (Nanos) do.  Ties (and equal-size chunked loops) keep FIFO
+        order, preserving the memory order of chunked traversals.
+
+        ``fifo`` takes the oldest runnable task (breadth-first, best
+        locality across a chunked traversal); ``lifo`` the newest
+        (depth-first, cache-hot dependents first).
+        """
+        if self.scheduler == "fifo":
+            for i, task in enumerate(self._ready):
+                if not (task.mutex_refs & self._held_refs):
+                    return i
+            return None
+        if self.scheduler == "lifo":
+            for i in range(len(self._ready) - 1, -1, -1):
+                if not (self._ready[i].mutex_refs & self._held_refs):
+                    return i
+            return None
+        best = None
+        best_instr = -1.0
+        for i, task in enumerate(self._ready):
+            if not (task.mutex_refs & self._held_refs):
+                if task.work.instructions > best_instr:
+                    best = i
+                    best_instr = task.work.instructions
+        return best
+
+    def _dispatch(self) -> None:
+        while self._active < self._max_workers:
+            idx = self._runnable_index()
+            if idx is None:
+                break
+            task = self._ready[idx]
+            del self._ready[idx]
+            self._held_refs |= task.mutex_refs
+            self._active += 1
+            if self._stats is not None:
+                self._stats.max_concurrency = max(
+                    self._stats.max_concurrency, self._active)
+            self.engine.process(self._worker(task),
+                                name=f"{self.name}.{task.label}")
+        # Appetite signalling for DLB: hungry if capacity-bound work remains.
+        if self.listener is not None and self._graph is not None:
+            if self._active >= self._max_workers and self._ready:
+                if not self._hungry_notified:
+                    self._hungry_notified = True
+                    self.listener.on_team_hungry(self)
+
+    def _worker(self, task: Task):
+        t0 = self.engine.now
+        duration = self.core.seconds(task.work) + self.task_overhead_s
+        yield self.engine.timeout(duration)
+        t1 = self.engine.now
+        stats = self._stats
+        assert stats is not None
+        stats.tasks_run += 1
+        stats.instructions += task.work.instructions
+        stats.busy_seconds += self.core.seconds(task.work)
+        stats.overhead_seconds += self.task_overhead_s
+        if self.recorder is not None and task.work.instructions > 0:
+            self.recorder.record(self.rank, "task", task.label, t0, t1)
+        self._held_refs -= task.mutex_refs
+        self._active -= 1
+        self._remaining -= 1
+        graph = self._graph
+        assert graph is not None
+        for succ in task.successors:
+            self._preds_left[succ] -= 1
+            if self._preds_left[succ] == 0:
+                self._ready.append(graph.tasks[succ])
+        if self._remaining == 0:
+            stats.t_end = self.engine.now
+            done = self._done
+            self._graph = None
+            self._stats = None
+            self._done = None
+            self._hungry_notified = False
+            if self.listener is not None:
+                self.listener.on_team_idle(self)
+            assert done is not None
+            done.succeed(stats)
+        else:
+            self._hungry_notified = False
+            self._dispatch()

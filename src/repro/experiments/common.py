@@ -1,0 +1,65 @@
+"""Shared helpers for the experiment runners (one per paper table/figure)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..app import (
+    LARGE_PARTICLE_RATIO,
+    SMALL_PARTICLE_RATIO,
+    Workload,
+    WorkloadSpec,
+    get_workload,
+)
+
+__all__ = ["reference_spec", "small_load_spec", "large_load_spec",
+           "paper_scale_spec", "reference_workload", "format_table"]
+
+
+def reference_spec(**overrides) -> WorkloadSpec:
+    """The default (scaled) respiratory workload used by every experiment."""
+    return WorkloadSpec(**overrides)
+
+
+def small_load_spec(**overrides) -> WorkloadSpec:
+    """Workload with the paper's 4e5-particle load ratio."""
+    overrides.setdefault("particle_ratio", SMALL_PARTICLE_RATIO)
+    return WorkloadSpec(**overrides)
+
+
+def large_load_spec(**overrides) -> WorkloadSpec:
+    """Workload with the paper's 7e6-particle load ratio."""
+    overrides.setdefault("particle_ratio", LARGE_PARTICLE_RATIO)
+    return WorkloadSpec(**overrides)
+
+
+def paper_scale_spec(**overrides) -> WorkloadSpec:
+    """A workload at the paper's airway depth (7 bronchial generations,
+    ~40k elements).  Several times slower than the reference spec — meant
+    for one-off high-fidelity runs, not the benchmark suite."""
+    overrides.setdefault("generations", 7)
+    overrides.setdefault("points_per_ring", 8)
+    return WorkloadSpec(**overrides)
+
+
+def reference_workload(spec: WorkloadSpec | None = None) -> Workload:
+    """Cached workload for ``spec`` (default: the reference spec)."""
+    return get_workload(spec or reference_spec())
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Plain-text table (paper-style) from headers and row tuples."""
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Figures 8-11 — execution time of sync/coupled runs with and without DLB.
+
+Paper setup (Sec. 4.4): multidep assembly + atomics SGS, one OpenMP thread
+per MPI process, two nodes per cluster.  Two particle loads — 4e5 (load in
+the fluid) and 7e6 (load in the particles) — and, per cluster, the
+synchronous mode plus coupled mode with several fluid+particle splits,
+each run with the original runtime and with DLB.
+
+=========  =========  ===========================  =======================
+figure     cluster    particle load                reported effect
+=========  =========  ===========================  =======================
+Fig. 8     MN4        4e5    bad split up to ~2x worse; DLB improves all
+Fig. 9     Thunder    4e5    same trends
+Fig. 10    MN4        7e6    DLB gains 1.7-2.2x
+Fig. 11    Thunder    7e6    DLB gains 2-3x; optimum split differs
+=========  =========  ===========================  =======================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..app import RunConfig, WorkloadSpec, run_cfpd
+from ..core import Strategy
+from .common import format_table, large_load_spec, reference_workload, small_load_spec
+
+__all__ = ["DLBFigureResult", "run_dlb_figure", "run_fig8", "run_fig9",
+           "run_fig10", "run_fig11", "COUPLED_SPLITS"]
+
+#: Fluid+particle rank splits swept per cluster (nranks = cluster cores).
+COUPLED_SPLITS = {
+    "marenostrum4": (48, 64, 80),
+    "thunder": (96, 128, 160),
+}
+
+_TOTALS = {"marenostrum4": 96, "thunder": 192}
+
+
+@dataclass
+class DLBFigureResult:
+    """Execution time per configuration, original vs DLB."""
+
+    cluster: str
+    load_tag: str
+    #: list of (label, original seconds, DLB seconds)
+    rows: list
+
+    def format(self) -> str:
+        """Paper-style bar-chart data as a table."""
+        table = [(label, f"{orig * 1e3:.3f}", f"{dlb * 1e3:.3f}",
+                  f"{orig / dlb:.2f}x")
+                 for label, orig, dlb in self.rows]
+        return format_table(
+            ["configuration", "original (ms)", "DLB (ms)", "DLB gain"],
+            table,
+            title=(f"Simulation of {self.load_tag} particles on "
+                   f"{self.cluster}"))
+
+    def best_original(self) -> float:
+        """Fastest original-runtime configuration."""
+        return min(orig for _, orig, _ in self.rows)
+
+    def worst_original(self) -> float:
+        """Slowest original-runtime configuration."""
+        return max(orig for _, orig, _ in self.rows)
+
+    def dlb_gains(self) -> list:
+        """Original/DLB speedup per configuration."""
+        return [orig / dlb for _, orig, dlb in self.rows]
+
+    def dlb_spread(self) -> float:
+        """max/min of the DLB times — how flat DLB makes the choice."""
+        dlbs = [dlb for _, _, dlb in self.rows]
+        return max(dlbs) / min(dlbs)
+
+
+def run_dlb_figure(cluster: str, spec: WorkloadSpec,
+                   load_tag: str = "") -> DLBFigureResult:
+    """One of Figs. 8-11: sweep sync + coupled splits, original vs DLB."""
+    wl = reference_workload(spec)
+    total = _TOTALS[cluster]
+    configs = [("sync", 0)] + [("coupled", f) for f in
+                               COUPLED_SPLITS[cluster]]
+    rows = []
+    for mode, f in configs:
+        times = {}
+        for dlb in (False, True):
+            cfg = RunConfig(cluster=cluster, nranks=total,
+                            threads_per_rank=1, mode=mode, fluid_ranks=f,
+                            assembly_strategy=Strategy.MULTIDEP,
+                            sgs_strategy=Strategy.ATOMICS, dlb=dlb)
+            times[dlb] = run_cfpd(cfg, workload=wl).total_time
+        label = f"{f}+{total - f}" if mode == "coupled" else f"sync {total}"
+        rows.append((label, times[False], times[True]))
+    return DLBFigureResult(cluster=cluster, load_tag=load_tag, rows=rows)
+
+
+def run_fig8(spec: WorkloadSpec | None = None) -> DLBFigureResult:
+    """Fig. 8: 4e5-scaled particles on MareNostrum4."""
+    return run_dlb_figure("marenostrum4", spec or small_load_spec(),
+                          "4e5-scaled")
+
+
+def run_fig9(spec: WorkloadSpec | None = None) -> DLBFigureResult:
+    """Fig. 9: 4e5-scaled particles on Thunder."""
+    return run_dlb_figure("thunder", spec or small_load_spec(),
+                          "4e5-scaled")
+
+
+def run_fig10(spec: WorkloadSpec | None = None) -> DLBFigureResult:
+    """Fig. 10: 7e6-scaled particles on MareNostrum4."""
+    return run_dlb_figure("marenostrum4", spec or large_load_spec(),
+                          "7e6-scaled")
+
+
+def run_fig11(spec: WorkloadSpec | None = None) -> DLBFigureResult:
+    """Fig. 11: 7e6-scaled particles on Thunder."""
+    return run_dlb_figure("thunder", spec or large_load_spec(),
+                          "7e6-scaled")

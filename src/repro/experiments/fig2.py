@@ -1,0 +1,51 @@
+"""Figure 2 — Paraver-style trace timeline of one simulation step.
+
+The paper's figure shows, for 96 MPI processes on a Thunder node, the
+phases of one time step (assembly, solvers, SGS, particles) colored along
+the time axis; the ragged right edges of each phase *are* the load
+imbalance, and the particles phase is dominated by one or two processes.
+
+We regenerate the same data: per-rank phase intervals of a chosen step,
+rendered as ASCII (`render_timeline`) or exported as machine-readable rows
+(`timeline_rows`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..app import RunConfig, WorkloadSpec, run_cfpd
+from ..core import Strategy
+from ..trace import PhaseLog, render_timeline, timeline_rows
+from .common import reference_workload, small_load_spec
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """Trace data of the Table-1 run, ready for timeline rendering."""
+
+    phase_log: PhaseLog
+    step: int
+
+    def render(self, width: int = 100, max_ranks: int = 24) -> str:
+        """ASCII timeline of the selected step."""
+        return render_timeline(self.phase_log, self.step, width=width,
+                               max_ranks=max_ranks)
+
+    def rows(self) -> list:
+        """(rank, phase, t0, t1) rows of the selected step (CSV-ready)."""
+        return timeline_rows(self.phase_log, self.step)
+
+
+def run_fig2(spec: WorkloadSpec | None = None, step: int = 0,
+             nranks: int = 96) -> Fig2Result:
+    """Reproduce the Fig. 2 trace: one step of the 96-rank Thunder run."""
+    wl = reference_workload(spec or small_load_spec())
+    config = RunConfig(cluster="thunder", num_nodes=1, nranks=nranks,
+                       threads_per_rank=1, mode="sync",
+                       assembly_strategy=Strategy.MPI_ONLY,
+                       sgs_strategy=Strategy.MPI_ONLY)
+    result = run_cfpd(config, workload=wl)
+    return Fig2Result(phase_log=result.phase_log, step=step)

@@ -1,0 +1,109 @@
+"""Figures 6 & 7 — hybrid speedup of assembly / SGS per strategy.
+
+Paper setup: both clusters, three parallelizations (Atomics, Coloring,
+Multidep) at thread counts 1, 2, 4 per rank (total cores constant: 96 on
+MareNostrum4, 192 on Thunder).  Speedup S_c = t_MPI / t_c is measured per
+phase against the pure-MPI run on the same node count.
+
+Shape targets (Sec. 4.3):
+
+* Fig. 6 (assembly): atomics < 1 almost everywhere, much worse on Intel;
+  coloring better than atomics on both; multidep best everywhere;
+  multidep/atomics ~2.5x on Intel, ~1.2x on Arm.
+* Fig. 7 (SGS): no races, so the "atomics" build (a plain parallel loop)
+  is fastest; coloring/multidep pay <10 % structural overhead; hybrid
+  versions outperform pure MPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..app import RunConfig, WorkloadSpec, run_cfpd
+from ..core import Strategy
+from .common import format_table, reference_workload
+
+__all__ = ["HybridSweepResult", "run_fig6", "run_fig7", "CLUSTER_TOTALS"]
+
+#: Total cores used per cluster in the paper's Fig. 6/7 sweeps.
+CLUSTER_TOTALS = {"marenostrum4": 96, "thunder": 192}
+
+_STRATEGIES = (Strategy.ATOMICS, Strategy.COLORING, Strategy.MULTIDEP)
+_THREADS = (1, 2, 4)
+
+
+@dataclass
+class HybridSweepResult:
+    """Speedups per (cluster, strategy, threads) for one phase."""
+
+    phase: str
+    #: {cluster: {strategy value: {threads: speedup}}}
+    speedups: dict
+    #: {cluster: MPI-only phase time (s)}
+    baselines: dict
+    #: {cluster: total cores} used in the sweep
+    totals: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """One table per cluster, configurations as columns."""
+        blocks = []
+        for cluster, per_strategy in self.speedups.items():
+            total = self.totals.get(cluster, CLUSTER_TOTALS.get(cluster, 0))
+            headers = ["version"] + [f"{total // t}x{t}" for t in _THREADS]
+            rows = []
+            for strategy, per_threads in per_strategy.items():
+                rows.append([strategy]
+                            + [f"{per_threads[t]:.2f}" for t in _THREADS])
+            blocks.append(format_table(
+                headers, rows,
+                title=f"{self.phase} speedup vs MPI-only on {cluster}"))
+        return "\n\n".join(blocks)
+
+    def speedup(self, cluster: str, strategy: Strategy, threads: int
+                ) -> float:
+        """One data point of the figure."""
+        return self.speedups[cluster][strategy.value][threads]
+
+
+def _run_sweep(phase: str, spec: WorkloadSpec | None,
+               totals: dict | None = None) -> HybridSweepResult:
+    wl = reference_workload(spec)
+    speedups: dict = {}
+    baselines: dict = {}
+    for cluster, total in (totals or CLUSTER_TOTALS).items():
+        base_cfg = RunConfig(cluster=cluster, nranks=total,
+                             threads_per_rank=1,
+                             assembly_strategy=Strategy.MPI_ONLY,
+                             sgs_strategy=Strategy.MPI_ONLY)
+        base = run_cfpd(base_cfg, workload=wl).phase_log.elapsed(phase)
+        baselines[cluster] = base
+        speedups[cluster] = {}
+        for strategy in _STRATEGIES:
+            per_threads = {}
+            for threads in _THREADS:
+                cfg = RunConfig(cluster=cluster, nranks=total // threads,
+                                threads_per_rank=threads,
+                                assembly_strategy=strategy,
+                                sgs_strategy=strategy)
+                res = run_cfpd(cfg, workload=wl)
+                per_threads[threads] = base / res.phase_log.elapsed(phase)
+            speedups[cluster][strategy.value] = per_threads
+    return HybridSweepResult(phase=phase, speedups=speedups,
+                             baselines=baselines,
+                             totals=dict(totals or CLUSTER_TOTALS))
+
+
+def run_fig6(spec: WorkloadSpec | None = None,
+             totals: dict | None = None) -> HybridSweepResult:
+    """Fig. 6: hybrid assembly speedup wrt the MPI-only code.
+
+    ``totals`` overrides the per-cluster core counts (paper values by
+    default; smaller counts make scaled-down test runs fast).
+    """
+    return _run_sweep("assembly", spec, totals)
+
+
+def run_fig7(spec: WorkloadSpec | None = None,
+             totals: dict | None = None) -> HybridSweepResult:
+    """Fig. 7: hybrid SGS speedup wrt the MPI-only code."""
+    return _run_sweep("sgs", spec, totals)

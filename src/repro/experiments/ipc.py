@@ -1,0 +1,80 @@
+"""Section 4.3 IPC counters — assembly IPC per strategy and cluster.
+
+The paper reports (from hardware counters):
+
+* Thunder: MPI-only assembly IPC ~0.49; with atomics ~0.42 (-14 %)
+* MareNostrum4: MPI-only ~2.25; with atomics ~1.15 (-50 %)
+* multidependences: 94-96 % of the MPI-only IPC on both clusters
+
+We measure the same counters from the simulated execution (instructions
+retired / cycles busy, exactly what `perf` would report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..app import RunConfig, WorkloadSpec, run_cfpd
+from ..core import Strategy
+from .common import format_table, reference_workload
+
+__all__ = ["PAPER_IPC", "IPCResult", "run_ipc_counters"]
+
+#: Paper values: (cluster, strategy) -> assembly IPC.
+PAPER_IPC = {
+    ("marenostrum4", "mpionly"): 2.25,
+    ("marenostrum4", "atomics"): 1.15,
+    ("thunder", "mpionly"): 0.49,
+    ("thunder", "atomics"): 0.42,
+}
+
+
+@dataclass
+class IPCResult:
+    """Measured assembly IPC per cluster and strategy."""
+
+    #: {(cluster, strategy value): ipc}
+    ipc: dict
+
+    def format(self) -> str:
+        """Measured-vs-paper IPC table."""
+        rows = []
+        for (cluster, strategy), value in sorted(self.ipc.items()):
+            paper = PAPER_IPC.get((cluster, strategy))
+            rows.append((cluster, strategy, f"{value:.2f}",
+                         f"{paper:.2f}" if paper else "-"))
+        return format_table(
+            ["cluster", "version", "assembly IPC", "paper"],
+            rows, title="Assembly-phase IPC (Sec. 4.3 counters)")
+
+    def relative_drop(self, cluster: str) -> float:
+        """Fractional IPC drop of atomics vs MPI-only on ``cluster``."""
+        base = self.ipc[(cluster, "mpionly")]
+        at = self.ipc[(cluster, "atomics")]
+        return 1.0 - at / base
+
+    def multidep_fraction(self, cluster: str) -> float:
+        """Multidep IPC as a fraction of MPI-only IPC."""
+        return (self.ipc[(cluster, "multidep")]
+                / self.ipc[(cluster, "mpionly")])
+
+
+def run_ipc_counters(spec: WorkloadSpec | None = None) -> IPCResult:
+    """Measure the Sec. 4.3 IPC table on both clusters."""
+    wl = reference_workload(spec)
+    out = {}
+    for cluster, total in (("marenostrum4", 96), ("thunder", 192)):
+        for strategy in (Strategy.MPI_ONLY, Strategy.ATOMICS,
+                         Strategy.COLORING, Strategy.MULTIDEP):
+            cfg = RunConfig(cluster=cluster, nranks=total // 2,
+                            threads_per_rank=2,
+                            assembly_strategy=strategy,
+                            sgs_strategy=strategy)
+            if strategy is Strategy.MPI_ONLY:
+                cfg = RunConfig(cluster=cluster, nranks=total,
+                                threads_per_rank=1,
+                                assembly_strategy=strategy,
+                                sgs_strategy=strategy)
+            res = run_cfpd(cfg, workload=wl)
+            out[(cluster, strategy.value)] = res.ipc("assembly")
+    return IPCResult(ipc=out)

@@ -1,0 +1,65 @@
+"""One-shot report generation: every table/figure into a directory.
+
+``generate_all(output_dir)`` regenerates each paper artifact (Table 1,
+Fig. 2, Figs. 6-11, the IPC counters) and writes the formatted text files —
+the same content the benchmark harness produces, without pytest.  Exposed
+on the CLI as ``python -m repro all``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional
+
+from ..app import WorkloadSpec
+from .dlb_figures import run_fig8, run_fig9, run_fig10, run_fig11
+from .fig2 import run_fig2
+from .fig67 import run_fig6, run_fig7
+from .ipc import run_ipc_counters
+from .table1 import run_table1
+
+__all__ = ["ARTIFACTS", "generate_all"]
+
+#: name -> callable(spec) returning an object with .format() / .render()
+ARTIFACTS: dict = {
+    "table1": lambda spec: run_table1(spec=spec).format(),
+    "fig2_timeline": lambda spec: run_fig2(spec=spec).render(width=110),
+    "fig6_assembly": lambda spec: run_fig6(spec=spec).format(),
+    "fig7_sgs": lambda spec: run_fig7(spec=spec).format(),
+    "fig8_dlb_mn4_small": lambda spec: run_fig8().format(),
+    "fig9_dlb_thunder_small": lambda spec: run_fig9().format(),
+    "fig10_dlb_mn4_large": lambda spec: run_fig10().format(),
+    "fig11_dlb_thunder_large": lambda spec: run_fig11().format(),
+    "ipc_counters": lambda spec: run_ipc_counters(spec=spec).format(),
+}
+
+
+def generate_all(output_dir: str,
+                 spec: Optional[WorkloadSpec] = None,
+                 only: Optional[list] = None,
+                 progress: Optional[Callable[[str], None]] = print) -> dict:
+    """Regenerate every artifact into ``output_dir``; returns
+    {name: path}.
+
+    ``only`` restricts to a subset of :data:`ARTIFACTS` keys; ``progress``
+    (default ``print``) receives one status line per artifact.
+    """
+    os.makedirs(output_dir, exist_ok=True)
+    names = list(ARTIFACTS) if only is None else list(only)
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        raise KeyError(f"unknown artifacts {unknown}; "
+                       f"available: {sorted(ARTIFACTS)}")
+    paths = {}
+    for name in names:
+        t0 = time.perf_counter()
+        text = ARTIFACTS[name](spec)
+        path = os.path.join(output_dir, f"{name}.txt")
+        with open(path, "w") as fh:
+            fh.write(text + "\n")
+        paths[name] = path
+        if progress is not None:
+            progress(f"{name}: wrote {path} "
+                     f"({time.perf_counter() - t0:.1f}s)")
+    return paths

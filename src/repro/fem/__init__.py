@@ -1,0 +1,36 @@
+"""Finite-element substrate: shape functions/quadrature, vectorized scalar
+and vector assembly with work meters, Dirichlet BCs, the VMS subgrid-scale
+update, and the fractional-step Navier-Stokes solver."""
+
+from .assembly import AssemblyResult, assemble_operator, element_work_meters
+from .dirichlet import apply_dirichlet, apply_dirichlet_symmetric
+from .fractional_step import FlowBC, FractionalStepSolver, StepInfo
+from .sgs import SGSState, update_sgs
+from .shape import ReferenceElement, reference_element
+from .vector import (
+    deinterleave,
+    divergence_operator,
+    gradient_operator,
+    interleave,
+    vector_operator,
+)
+
+__all__ = [
+    "AssemblyResult",
+    "FlowBC",
+    "FractionalStepSolver",
+    "ReferenceElement",
+    "SGSState",
+    "StepInfo",
+    "apply_dirichlet",
+    "apply_dirichlet_symmetric",
+    "assemble_operator",
+    "deinterleave",
+    "divergence_operator",
+    "element_work_meters",
+    "gradient_operator",
+    "interleave",
+    "reference_element",
+    "update_sgs",
+    "vector_operator",
+]

@@ -1,0 +1,182 @@
+"""Finite-element matrix assembly (the paper's "Matrix assembly" phase).
+
+Assembles stabilized scalar operators representing the Navier-Stokes blocks
+solved by Alya's fractional-step VMS scheme:
+
+* **momentum-like operator**: ``M/dt + C(u) + kappa K`` (mass + convection +
+  diffusion, with a SUPG/VMS-style stabilization term), and
+* **continuity-like operator** (pressure Poisson): ``K`` (+ small mass
+  regularization so the pure-Neumann system stays SPD).
+
+The numeric path is real — element Jacobians, quadrature loops (vectorized
+over elements), CSR scatter with duplicate summation — and is exactly the
+computation whose *nodal scatter* causes the race the paper's strategies
+manage: two elements sharing a node update the same CSR entries.
+
+Besides the matrix, the assembly returns per-element **work meters**
+(instruction estimates and atomic-update counts per element) consumed by the
+performance layer; the constants live in :mod:`repro.app.costs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from ..mesh.elements import ElementType, NODES_PER_TYPE
+from ..mesh.mesh import Mesh
+from .shape import reference_element
+
+__all__ = ["AssemblyResult", "assemble_operator", "element_work_meters"]
+
+
+@dataclass
+class AssemblyResult:
+    """Output of :func:`assemble_operator`."""
+
+    matrix: sparse.csr_matrix
+    rhs: np.ndarray
+    #: per processed element (in the order of ``element_ids``): number of
+    #: scattered matrix/vector entries — the atomic updates of the ATOMICS
+    #: strategy.
+    scatter_counts: np.ndarray
+    #: per processed element: nodes
+    element_nodes: np.ndarray
+
+
+def _geometry(coords: np.ndarray, conn: np.ndarray, ref):
+    """Per-element, per-quadrature-point physical gradients and |J| dV.
+
+    Returns (grads, dvol, jac_ok) with grads (ne, nq, nn, 3) and dvol
+    (ne, nq).
+    """
+    xe = coords[conn]                                     # (ne, nn, 3)
+    # J[e,q,i,j] = sum_n dN[q,n,i] * xe[e,n,j]  =  dx_j / dxi_i
+    J = np.einsum("qni,enj->eqij", ref.dN, xe)
+    detJ = np.linalg.det(J)
+    invJ = np.linalg.inv(J)
+    # chain rule: dN/dx_j = dN/dxi_i * dxi_i/dx_j, and since J is the
+    # transposed conventional Jacobian, dxi_i/dx_j = invJ[j, i].
+    grads = np.einsum("qni,eqji->eqnj", ref.dN, invJ)
+    dvol = np.abs(detJ) * ref.weights[None, :]
+    return grads, dvol
+
+
+def assemble_operator(mesh: Mesh,
+                      kappa: float = 1.0,
+                      mass_coeff: float = 0.0,
+                      velocity: Optional[np.ndarray] = None,
+                      stabilize: bool = True,
+                      element_ids: Optional[np.ndarray] = None,
+                      source: float = 0.0) -> AssemblyResult:
+    """Assemble ``mass_coeff*M + C(velocity) + kappa*K`` over the mesh.
+
+    Parameters
+    ----------
+    mesh:
+        The (possibly hybrid) mesh.
+    kappa:
+        Diffusion coefficient (viscosity-like).
+    mass_coeff:
+        Coefficient of the mass matrix (``rho/dt`` in the momentum step;
+        ``0`` gives a pure Poisson operator).
+    velocity:
+        Optional (nnodes, 3) advection field; adds the convection operator
+        with SUPG/VMS stabilization (the paper's VMS scheme).
+    element_ids:
+        Restrict assembly to these elements (a rank's local domain).  The
+        result matrix is still global-sized; only local entries are filled —
+        mirroring Alya's local assembly with no MPI communication.
+    source:
+        Constant volumetric source assembled into the RHS.
+    """
+    n = mesh.nnodes
+    if element_ids is None:
+        element_ids = np.arange(mesh.nelem)
+    element_ids = np.asarray(element_ids)
+    rows_all, cols_all, vals_all = [], [], []
+    rhs = np.zeros(n)
+    scatter = np.zeros(len(element_ids), dtype=np.int64)
+    elem_nn = np.zeros(len(element_ids), dtype=np.int32)
+    local_pos = {int(e): i for i, e in enumerate(element_ids)}
+
+    etype_arr = mesh.elem_types[element_ids]
+    for etype in ElementType:
+        sel = etype_arr == etype
+        eids = element_ids[sel]
+        if len(eids) == 0:
+            continue
+        nn = NODES_PER_TYPE[etype]
+        ref = reference_element(etype)
+        conn = mesh.elem_nodes[eids][:, :nn]
+        grads, dvol = _geometry(mesh.coords, conn, ref)
+        ne = len(eids)
+        # diffusion: K_ab = sum_q kappa grad_a . grad_b dV
+        Ke = kappa * np.einsum("eqaj,eqbj,eq->eab", grads, grads, dvol)
+        if mass_coeff != 0.0:
+            Ke += mass_coeff * np.einsum("qa,qb,eq->eab", ref.N, ref.N, dvol)
+        if velocity is not None:
+            # advection velocity at quadrature points
+            uq = np.einsum("qa,eaj->eqj", ref.N, velocity[conn])
+            # C_ab = N_a (u . grad N_b) dV
+            ugb = np.einsum("eqj,eqbj->eqb", uq, grads)
+            Ke += np.einsum("qa,eqb,eq->eab", ref.N, ugb, dvol)
+            if stabilize:
+                # VMS/SUPG-style: tau (u.grad N_a)(u.grad N_b), with
+                # tau ~ h / (2|u|) per element.
+                h = np.cbrt(dvol.sum(axis=1))                      # (ne,)
+                umag = np.linalg.norm(uq, axis=2).mean(axis=1)     # (ne,)
+                tau = h / (2.0 * umag + 1e-12)
+                uga = ugb  # same contraction for the 'a' index
+                Ke += np.einsum("e,eqa,eqb,eq->eab", tau, uga, ugb, dvol)
+        # scatter
+        rows = np.repeat(conn, nn, axis=1).ravel()
+        cols = np.tile(conn, (1, nn)).ravel()
+        rows_all.append(rows)
+        cols_all.append(cols)
+        vals_all.append(Ke.ravel())
+        if source != 0.0:
+            fe = source * np.einsum("qa,eq->ea", ref.N, dvol)
+            np.add.at(rhs, conn.ravel(), fe.ravel())
+        pos = np.fromiter((local_pos[int(e)] for e in eids), dtype=np.int64,
+                          count=ne)
+        scatter[pos] = nn * nn + nn   # matrix entries + rhs entries
+        elem_nn[pos] = nn
+
+    if rows_all:
+        matrix = sparse.coo_matrix(
+            (np.concatenate(vals_all),
+             (np.concatenate(rows_all), np.concatenate(cols_all))),
+            shape=(n, n)).tocsr()
+    else:
+        matrix = sparse.csr_matrix((n, n))
+    return AssemblyResult(matrix=matrix, rhs=rhs, scatter_counts=scatter,
+                          element_nodes=elem_nn)
+
+
+def element_work_meters(mesh: Mesh,
+                        instr_per_type: dict,
+                        element_ids: Optional[np.ndarray] = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element (instructions, atomic updates) for the performance layer.
+
+    ``instr_per_type`` maps :class:`ElementType` to an instruction estimate
+    per element (see :mod:`repro.app.costs`).  Atomic updates are the CSR
+    scatter size ``nn*nn + nn``.
+    """
+    if element_ids is None:
+        element_ids = np.arange(mesh.nelem)
+    etypes = mesh.elem_types[element_ids]
+    instr = np.zeros(len(element_ids))
+    atomics = np.zeros(len(element_ids))
+    for etype in ElementType:
+        sel = etypes == etype
+        if not sel.any():
+            continue
+        nn = NODES_PER_TYPE[etype]
+        instr[sel] = float(instr_per_type[etype])
+        atomics[sel] = nn * nn + nn
+    return instr, atomics

@@ -1,0 +1,53 @@
+"""Dirichlet boundary-condition application for assembled systems."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["apply_dirichlet", "apply_dirichlet_symmetric"]
+
+
+def apply_dirichlet(A: sparse.csr_matrix, b: np.ndarray,
+                    dofs: np.ndarray, values: np.ndarray
+                    ) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Row replacement: enforce ``x[dofs] = values``.
+
+    Each constrained row becomes an identity row and the RHS entry the
+    prescribed value.  The matrix loses symmetry (fine for BiCGStab).
+    """
+    dofs = np.asarray(dofs, dtype=np.int64)
+    values = np.broadcast_to(np.asarray(values, dtype=np.float64),
+                             dofs.shape)
+    A = A.tolil(copy=True)
+    b = b.copy()
+    for dof, val in zip(dofs, values):
+        A.rows[dof] = [int(dof)]
+        A.data[dof] = [1.0]
+        b[dof] = val
+    return A.tocsr(), b
+
+
+def apply_dirichlet_symmetric(A: sparse.csr_matrix, b: np.ndarray,
+                              dofs: np.ndarray, values: np.ndarray
+                              ) -> tuple[sparse.csr_matrix, np.ndarray]:
+    """Symmetric elimination: zero rows *and* columns, keep SPD for CG.
+
+    The known values are moved to the RHS before the columns are cleared.
+    """
+    dofs = np.asarray(dofs, dtype=np.int64)
+    values = np.broadcast_to(np.asarray(values, dtype=np.float64),
+                             dofs.shape).astype(np.float64)
+    n = A.shape[0]
+    x_known = np.zeros(n)
+    x_known[dofs] = values
+    b = b - A @ x_known
+    mask = np.zeros(n, dtype=bool)
+    mask[dofs] = True
+    # zero the constrained rows and columns via a diagonal projector
+    keep = sparse.diags((~mask).astype(np.float64))
+    A = (keep @ A @ keep).tolil()
+    for dof in dofs:
+        A[dof, dof] = 1.0
+    b[dofs] = values
+    return A.tocsr(), b

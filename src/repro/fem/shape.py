@@ -1,0 +1,148 @@
+"""Shape functions and quadrature rules for tet / pyramid / prism elements.
+
+Linear (P1-style) isoparametric elements:
+
+* **TET** — barycentric linear shape functions on the reference tet
+  (0,0,0)-(1,0,0)-(0,1,0)-(0,0,1); 4-point quadrature.
+* **PRISM** — triangle x line tensor product on the reference wedge
+  (triangle in (x,y), z in [-1,1]); 3x2 quadrature.
+* **PYRAMID** — degenerate trilinear hexahedron (top face collapsed to the
+  apex); 2x2x2 Gauss quadrature (all points interior, where the Jacobian is
+  regular).
+
+Each rule is exposed as ``(points, weights, N, dN)`` with ``N`` of shape
+(nq, nn) and ``dN`` of shape (nq, nn, 3) — everything the vectorized
+assembly needs, precomputed once per element type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..mesh.elements import ElementType, NODES_PER_TYPE
+
+__all__ = ["ReferenceElement", "reference_element"]
+
+_G = 1.0 / np.sqrt(3.0)  # 2-point Gauss abscissa on [-1, 1]
+
+
+@dataclass(frozen=True)
+class ReferenceElement:
+    """Precomputed reference-element data for one element type."""
+
+    etype: ElementType
+    points: np.ndarray    # (nq, 3) quadrature points (natural coords)
+    weights: np.ndarray   # (nq,)
+    N: np.ndarray         # (nq, nn) shape functions at the points
+    dN: np.ndarray        # (nq, nn, 3) natural-coordinate gradients
+
+    @property
+    def nq(self) -> int:
+        """Number of quadrature points."""
+        return len(self.weights)
+
+    @property
+    def nn(self) -> int:
+        """Number of nodes."""
+        return NODES_PER_TYPE[self.etype]
+
+
+def _tet() -> ReferenceElement:
+    # 4-point rule, degree 2 exact; barycentric points
+    a, b = 0.5854101966249685, 0.1381966011250105
+    pts = np.array([[b, b, b], [a, b, b], [b, a, b], [b, b, a]])
+    wts = np.full(4, 1.0 / 24.0)  # reference volume 1/6
+    N = np.stack([1.0 - pts.sum(axis=1), pts[:, 0], pts[:, 1], pts[:, 2]],
+                 axis=1)
+    dN_single = np.array([[-1.0, -1.0, -1.0],
+                          [1.0, 0.0, 0.0],
+                          [0.0, 1.0, 0.0],
+                          [0.0, 0.0, 1.0]])
+    dN = np.broadcast_to(dN_single, (4, 4, 3)).copy()
+    return ReferenceElement(ElementType.TET, pts, wts, N, dN)
+
+
+def _prism() -> ReferenceElement:
+    # triangle 3-point midpoint rule x 2-point Gauss in z
+    tri_pts = np.array([[0.5, 0.0], [0.5, 0.5], [0.0, 0.5]])
+    tri_w = np.full(3, 1.0 / 6.0)  # integrates to triangle area 1/2
+    z_pts = np.array([-_G, _G])
+    z_w = np.array([1.0, 1.0])
+    pts, wts = [], []
+    for (x, y), tw in zip(tri_pts, tri_w):
+        for z, zw in zip(z_pts, z_w):
+            pts.append([x, y, z])
+            wts.append(tw * zw)
+    pts = np.asarray(pts)
+    wts = np.asarray(wts)
+
+    def shape(p):
+        x, y, z = p
+        tri = np.array([1.0 - x - y, x, y])
+        lo, hi = (1.0 - z) / 2.0, (1.0 + z) / 2.0
+        return np.concatenate([tri * lo, tri * hi])
+
+    def grads(p):
+        x, y, z = p
+        tri = np.array([1.0 - x - y, x, y])
+        dtri = np.array([[-1.0, -1.0], [1.0, 0.0], [0.0, 1.0]])
+        lo, hi = (1.0 - z) / 2.0, (1.0 + z) / 2.0
+        g = np.zeros((6, 3))
+        g[:3, :2] = dtri * lo
+        g[3:, :2] = dtri * hi
+        g[:3, 2] = -tri / 2.0
+        g[3:, 2] = tri / 2.0
+        return g
+
+    N = np.stack([shape(p) for p in pts])
+    dN = np.stack([grads(p) for p in pts])
+    return ReferenceElement(ElementType.PRISM, pts, wts, N, dN)
+
+
+def _pyramid() -> ReferenceElement:
+    # degenerate trilinear hex: base (+-1, +-1, -1), apex (0, 0, +1);
+    # the four top hex nodes coincide at the apex.
+    corners = np.array([[-1, -1], [1, -1], [1, 1], [-1, 1]], dtype=float)
+    g = _G
+    pts = np.array([[sx * g, sy * g, sz * g]
+                    for sx in (-1, 1) for sy in (-1, 1) for sz in (-1, 1)],
+                   dtype=float)
+    wts = np.full(8, 1.0)
+
+    def shape(p):
+        x, y, z = p
+        lo, hi = (1.0 - z) / 2.0, (1.0 + z) / 2.0
+        base = np.array([(1 + cx * x) * (1 + cy * y) / 4.0
+                         for cx, cy in corners])
+        return np.concatenate([base * lo, [hi]])
+
+    def grads(p):
+        x, y, z = p
+        lo = (1.0 - z) / 2.0
+        g5 = np.zeros((5, 3))
+        for i, (cx, cy) in enumerate(corners):
+            base = (1 + cx * x) * (1 + cy * y) / 4.0
+            g5[i, 0] = cx * (1 + cy * y) / 4.0 * lo
+            g5[i, 1] = cy * (1 + cx * x) / 4.0 * lo
+            g5[i, 2] = -base / 2.0
+        g5[4, 2] = 0.5
+        return g5
+
+    N = np.stack([shape(p) for p in pts])
+    dN = np.stack([grads(p) for p in pts])
+    return ReferenceElement(ElementType.PYRAMID, pts, wts, N, dN)
+
+
+@lru_cache(maxsize=None)
+def reference_element(etype: ElementType) -> ReferenceElement:
+    """The (cached) reference element for ``etype``."""
+    if etype == ElementType.TET:
+        return _tet()
+    if etype == ElementType.PRISM:
+        return _prism()
+    if etype == ElementType.PYRAMID:
+        return _pyramid()
+    raise ValueError(f"unknown element type {etype!r}")

@@ -1,0 +1,23 @@
+"""Hardware models: cores (IPC/atomics/locality), nodes, interconnects,
+clusters, and the calibrated MareNostrum4 / Thunder presets."""
+
+from .arch import CoreModel, WorkSpec
+from .cluster import ClusterModel, InterconnectModel, NodeModel, rank_to_node
+from .energy import POWER_MODELS, PowerModel, energy_estimate
+from .presets import PRESETS, get_cluster, marenostrum4, thunder
+
+__all__ = [
+    "CoreModel",
+    "WorkSpec",
+    "ClusterModel",
+    "InterconnectModel",
+    "NodeModel",
+    "rank_to_node",
+    "POWER_MODELS",
+    "PRESETS",
+    "PowerModel",
+    "energy_estimate",
+    "get_cluster",
+    "marenostrum4",
+    "thunder",
+]

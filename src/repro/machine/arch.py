@@ -1,0 +1,131 @@
+"""Analytic processor-core performance models.
+
+The paper's central architectural observation is that the *same* source-level
+change (replacing ``omp atomic`` with multidependences) pays off very
+differently on an out-of-order Intel Xeon (assembly IPC 2.25 -> 1.15 with
+atomics, a 50 % drop) than on an in-order Cavium ThunderX (0.49 -> 0.42, a
+14 % drop).  We capture this with a classic additive CPI model:
+
+    CPI_eff = 1/IPC_base + f_atomic * C_atomic + f_miss * C_mem * H
+
+where ``f_atomic`` is the fraction of instructions that are atomic
+read-modify-writes, ``C_atomic`` the per-atomic pipeline stall,
+``f_miss`` the fraction of *additional* cache-missing accesses caused by a
+locality-destroying traversal (the coloring strategy), ``C_mem`` the memory
+stall, and ``H`` a hiding factor (<1 for out-of-order cores, which overlap
+misses with independent work; 1 for in-order cores).
+
+Because the baseline CPI of an aggressive out-of-order core is small, the
+*same absolute stall* is a much larger *relative* slowdown on Intel than on
+the in-order Arm — which is exactly the effect measured in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CoreModel", "WorkSpec"]
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """A quantum of computational work handed to a core.
+
+    Attributes
+    ----------
+    instructions:
+        Dynamic instruction count of the work (from the numeric layer's
+        meters, e.g. elements assembled x instructions/element).
+    atomic_frac:
+        Fraction of instructions that are atomic read-modify-write updates
+        (``omp atomic`` scatter updates in the assembly).
+    extra_miss_frac:
+        Fraction of instructions that incur an *additional* cache miss due to
+        a locality-destroying traversal order (coloring).
+    ipc_factor:
+        Multiplicative derating of the final IPC (task-runtime bookkeeping
+        interleaved with the work; the paper reports multidependences at
+        94-96 % of the MPI-only IPC).
+    """
+
+    instructions: float
+    atomic_frac: float = 0.0
+    extra_miss_frac: float = 0.0
+    ipc_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.instructions < 0:
+            raise ValueError(f"negative instructions: {self.instructions}")
+        if not 0.0 <= self.atomic_frac <= 1.0:
+            raise ValueError(f"atomic_frac out of [0,1]: {self.atomic_frac}")
+        if not 0.0 <= self.extra_miss_frac <= 1.0:
+            raise ValueError(
+                f"extra_miss_frac out of [0,1]: {self.extra_miss_frac}")
+        if self.ipc_factor <= 0.0:
+            raise ValueError(f"ipc_factor must be > 0: {self.ipc_factor}")
+
+    def scaled(self, factor: float) -> "WorkSpec":
+        """A copy of this spec with ``instructions`` scaled by ``factor``."""
+        return WorkSpec(self.instructions * factor, self.atomic_frac,
+                        self.extra_miss_frac, self.ipc_factor)
+
+
+@dataclass(frozen=True)
+class CoreModel:
+    """Performance model of one processor core.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"xeon-8160"``).
+    freq_ghz:
+        Clock frequency in GHz (cycles per nanosecond).
+    base_ipc:
+        Sustained instructions/cycle of the phase kernels without atomics or
+        locality damage (the paper's MPI-only assembly IPC).
+    out_of_order:
+        Whether the core overlaps memory stalls with independent work.
+    atomic_stall_cycles:
+        Extra pipeline cycles per atomic read-modify-write.
+    mem_stall_cycles:
+        Extra cycles per additional cache miss.
+    miss_hiding:
+        Fraction of the memory stall actually *exposed* (out-of-order cores
+        expose only part of it; in-order cores expose all of it).
+    """
+
+    name: str
+    freq_ghz: float
+    base_ipc: float
+    out_of_order: bool
+    atomic_stall_cycles: float
+    mem_stall_cycles: float
+    miss_hiding: float = field(default=1.0)
+
+    def __post_init__(self):
+        if self.freq_ghz <= 0:
+            raise ValueError(f"freq_ghz must be > 0: {self.freq_ghz}")
+        if self.base_ipc <= 0:
+            raise ValueError(f"base_ipc must be > 0: {self.base_ipc}")
+        if not 0.0 < self.miss_hiding <= 1.0:
+            raise ValueError(f"miss_hiding out of (0,1]: {self.miss_hiding}")
+
+    # -- IPC model ---------------------------------------------------------
+    def effective_ipc(self, spec: WorkSpec) -> float:
+        """Instructions/cycle the core sustains on ``spec``'s instruction mix."""
+        cpi = 1.0 / self.base_ipc
+        cpi += spec.atomic_frac * self.atomic_stall_cycles
+        cpi += spec.extra_miss_frac * self.mem_stall_cycles * self.miss_hiding
+        return spec.ipc_factor / cpi
+
+    def seconds(self, spec: WorkSpec) -> float:
+        """Wall-clock seconds for one core to retire ``spec``."""
+        if spec.instructions == 0:
+            return 0.0
+        ipc = self.effective_ipc(spec)
+        cycles = spec.instructions / ipc
+        return cycles / (self.freq_ghz * 1e9)
+
+    def instructions_in(self, seconds: float, spec: WorkSpec) -> float:
+        """Inverse of :meth:`seconds`: instructions retired in ``seconds``."""
+        return seconds * self.freq_ghz * 1e9 * self.effective_ipc(spec)

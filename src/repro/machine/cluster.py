@@ -1,0 +1,103 @@
+"""Node, interconnect and cluster topology models.
+
+A :class:`ClusterModel` answers two questions for the runtime layers:
+
+* how long does a message of N bytes take between two ranks (same node via
+  shared memory, or across the interconnect)?
+* which node does a given MPI rank live on, for a given process-to-node
+  mapping (``block`` or ``cyclic``)?  Node placement determines which ranks
+  can share cores under DLB, which only operates inside a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import CoreModel
+
+__all__ = ["NodeModel", "InterconnectModel", "ClusterModel", "rank_to_node"]
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """A shared-memory node: ``sockets`` x ``cores_per_socket`` cores."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    core: CoreModel
+    mem_bw_gbs: float
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("node must have at least one core")
+
+    @property
+    def cores(self) -> int:
+        """Total cores in the node."""
+        return self.sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Latency/bandwidth model of a network link."""
+
+    name: str
+    latency_us: float
+    bandwidth_gbs: float
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Time for ``nbytes`` to cross the link (latency + serialization)."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A homogeneous cluster of ``num_nodes`` nodes.
+
+    ``intranode`` models shared-memory transfers between ranks on the same
+    node; ``interconnect`` models the network between nodes.
+    """
+
+    name: str
+    node: NodeModel
+    interconnect: InterconnectModel
+    intranode: InterconnectModel
+    num_nodes: int = 2
+
+    def __post_init__(self):
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        """Cores across the whole cluster."""
+        return self.node.cores * self.num_nodes
+
+    def message_seconds(self, node_a: int, node_b: int, nbytes: float) -> float:
+        """Transfer time between ranks placed on ``node_a`` and ``node_b``."""
+        link = self.intranode if node_a == node_b else self.interconnect
+        return link.transfer_seconds(nbytes)
+
+
+def rank_to_node(rank: int, nranks: int, num_nodes: int,
+                 mapping: str = "block") -> int:
+    """Map MPI ``rank`` to a node index.
+
+    ``block`` fills node 0 with the first ``nranks/num_nodes`` ranks, then
+    node 1, ... (the common scheduler default).  ``cyclic`` deals ranks
+    round-robin across nodes, which interleaves the fluid and particle codes
+    of a coupled run so that DLB can lend cores between them.
+    """
+    if not 0 <= rank < nranks:
+        raise ValueError(f"rank {rank} out of range [0, {nranks})")
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if mapping == "block":
+        per_node = -(-nranks // num_nodes)  # ceil division
+        return rank // per_node
+    if mapping == "cyclic":
+        return rank % num_nodes
+    raise ValueError(f"unknown mapping {mapping!r} (use 'block' or 'cyclic')")

@@ -1,0 +1,80 @@
+"""Energy-to-solution estimation (the Mont-Blanc question).
+
+The Thunder cluster exists because of the energy argument for Arm in HPC
+(the paper's introduction cites the Mont-Blanc energy studies [5, 17, 20]).
+This module adds a simple power model per cluster so runs can be compared
+by energy-to-solution as well as time-to-solution:
+
+    E = sum_r busy_r * P_active
+      + (runtime * cores_used - sum_r busy_r) * P_idle
+      + runtime * nodes * P_node_static
+
+Power numbers are nominal per-core active/idle draws plus a static
+per-node term (uncore, memory, fans), in the ballpark of published
+measurements for Xeon Platinum (TDP 150 W / 24 cores) and ThunderX
+(~120 W SoC for 48 cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PowerModel", "POWER_MODELS", "energy_estimate"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-core and per-node power draws in watts."""
+
+    core_active_w: float
+    core_idle_w: float
+    node_static_w: float
+
+    def __post_init__(self):
+        if min(self.core_active_w, self.core_idle_w,
+               self.node_static_w) < 0:
+            raise ValueError("power draws must be non-negative")
+        if self.core_idle_w > self.core_active_w:
+            raise ValueError("idle power cannot exceed active power")
+
+
+#: Nominal power models per cluster preset.
+POWER_MODELS = {
+    "MareNostrum4": PowerModel(core_active_w=5.0, core_idle_w=1.2,
+                               node_static_w=110.0),
+    "Thunder": PowerModel(core_active_w=1.4, core_idle_w=0.4,
+                          node_static_w=85.0),
+}
+
+
+def energy_estimate(cluster_name: str, busy_by_rank, runtime: float,
+                    cores_used: int, num_nodes: int = 2) -> float:
+    """Energy-to-solution in joules for one run.
+
+    Parameters
+    ----------
+    cluster_name:
+        Key into :data:`POWER_MODELS` (``ClusterModel.name``).
+    busy_by_rank:
+        Per-rank useful/busy seconds (idle = allocated - busy).
+    runtime:
+        Wall-clock (simulated) duration of the run.
+    cores_used / num_nodes:
+        Allocation size.
+    """
+    try:
+        power = POWER_MODELS[cluster_name]
+    except KeyError:
+        raise KeyError(f"no power model for {cluster_name!r}; available: "
+                       f"{sorted(POWER_MODELS)}") from None
+    busy = float(np.sum(np.asarray(busy_by_rank, dtype=np.float64)))
+    if runtime < 0:
+        raise ValueError("runtime must be non-negative")
+    allocated = runtime * cores_used
+    busy = min(busy, allocated)
+    idle = allocated - busy
+    return (busy * power.core_active_w
+            + idle * power.core_idle_w
+            + runtime * num_nodes * power.node_static_w)

@@ -1,0 +1,92 @@
+"""Calibrated models of the paper's two evaluation platforms.
+
+* **MareNostrum4** (Intel): 2x Intel Xeon Platinum 8160, 24 cores/socket at
+  2.1 GHz, out-of-order; Intel Omni-Path interconnect.
+* **Thunder** (Arm): 2x Cavium ThunderX CN8890, 48 custom Armv8 cores/socket
+  at 1.8 GHz, in-order; single 40 GbE link.
+
+Calibration targets (Section 4.3 of the paper):
+
+===============================  =========  =========
+quantity                          MN4        Thunder
+===============================  =========  =========
+assembly IPC, MPI-only            ~2.25      ~0.49
+assembly IPC with atomics         ~1.15      ~0.42
+relative IPC drop                 50 %       14 %
+multidep IPC vs MPI-only          94-96 %    94-96 %
+===============================  =========  =========
+
+With the additive CPI model of :mod:`repro.machine.arch` and an assembly
+kernel whose atomic fraction is ~1.36 % of instructions (the nn^2+nn nodal
+scatter updates of the reference element mix, see :mod:`repro.app.costs`):
+
+* MN4:    CPI 0.444 + 0.0136*31  = 0.87  -> IPC 1.15  (drop 49 %)  [target 1.15]
+* Thunder: CPI 2.041 + 0.0136*25 = 2.38  -> IPC 0.42  (drop 14 %)  [target 0.42]
+
+The interconnect numbers are nominal values for Omni-Path (100 Gb/s, ~1.5 us)
+and 40 GbE (~10 us); intra-node shared-memory transfers are the same on both.
+"""
+
+from __future__ import annotations
+
+from .arch import CoreModel
+from .cluster import ClusterModel, InterconnectModel, NodeModel
+
+__all__ = ["marenostrum4", "thunder", "PRESETS", "get_cluster"]
+
+#: Shared-memory "link" used for intra-node rank-to-rank messages.
+_SHMEM = InterconnectModel(name="shmem", latency_us=0.5, bandwidth_gbs=20.0)
+
+
+def marenostrum4(num_nodes: int = 2) -> ClusterModel:
+    """MareNostrum4 general-purpose partition (Intel Xeon Platinum 8160)."""
+    core = CoreModel(
+        name="xeon-8160",
+        freq_ghz=2.1,
+        base_ipc=2.25,
+        out_of_order=True,
+        atomic_stall_cycles=31.0,
+        mem_stall_cycles=12.0,
+        miss_hiding=0.35,  # OoO overlaps most of the miss latency
+    )
+    node = NodeModel(name="sd530", sockets=2, cores_per_socket=24, core=core,
+                     mem_bw_gbs=230.0)
+    omnipath = InterconnectModel(name="omni-path", latency_us=1.5,
+                                 bandwidth_gbs=12.5)
+    return ClusterModel(name="MareNostrum4", node=node, interconnect=omnipath,
+                        intranode=_SHMEM, num_nodes=num_nodes)
+
+
+def thunder(num_nodes: int = 2) -> ClusterModel:
+    """Thunder cluster (Cavium ThunderX CN8890, Mont-Blanc project)."""
+    core = CoreModel(
+        name="thunderx-cn8890",
+        freq_ghz=1.8,
+        base_ipc=0.49,
+        out_of_order=False,
+        atomic_stall_cycles=25.0,
+        mem_stall_cycles=20.0,
+        miss_hiding=1.0,  # in-order: the full miss latency is exposed
+    )
+    node = NodeModel(name="thunderx-2u", sockets=2, cores_per_socket=48,
+                     core=core, mem_bw_gbs=102.4)
+    ge40 = InterconnectModel(name="40gbe", latency_us=10.0, bandwidth_gbs=5.0)
+    return ClusterModel(name="Thunder", node=node, interconnect=ge40,
+                        intranode=_SHMEM, num_nodes=num_nodes)
+
+
+PRESETS = {
+    "marenostrum4": marenostrum4,
+    "mn4": marenostrum4,
+    "thunder": thunder,
+}
+
+
+def get_cluster(name: str, num_nodes: int = 2) -> ClusterModel:
+    """Look up a preset cluster by name (``marenostrum4``/``mn4``/``thunder``)."""
+    try:
+        factory = PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown cluster {name!r}; available: {sorted(PRESETS)}") from None
+    return factory(num_nodes=num_nodes)

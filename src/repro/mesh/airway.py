@@ -1,0 +1,150 @@
+"""Synthetic human-airway geometry: a branching centerline tree.
+
+The paper's mesh is a subject-specific geometry "extended from the face to
+the 7th branch generation of the bronchopulmonary tree and a hemisphere of
+the subject's face exterior".  We reproduce its *structure* synthetically:
+
+* a wide, short **face/hemisphere** inlet segment (where particles are
+  injected — the nasal orifice),
+* a **nasal/pharynx** segment,
+* the **trachea** (generation 0),
+* a recursive **bronchial tree**: each branch splits into two children with
+  radius scaled by Murray's law (2^(-1/3) ~ 0.79) and length proportional
+  to the radius, down to a configurable generation (paper: 7).
+
+The tree is deterministic given the seed.  Geometric realism matters for the
+*load-balance structure*: particles enter through one end (few MPI
+subdomains), boundary-layer prisms concentrate near walls, and small distal
+branches carry little volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Segment", "AirwayConfig", "build_airway_tree"]
+
+#: Murray's law radius ratio for a symmetric bifurcation.
+MURRAY_RATIO = 2.0 ** (-1.0 / 3.0)
+
+#: Generation labels of the extra-thoracic segments.
+GEN_FACE = -2
+GEN_NASAL = -1
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One tube of the airway tree."""
+
+    sid: int
+    parent: int              # sid of parent segment, -1 for the root
+    generation: int          # GEN_FACE, GEN_NASAL, 0 (trachea), 1..G
+    start: np.ndarray        # (3,) start point of the centerline
+    direction: np.ndarray    # (3,) unit vector along the centerline
+    length: float
+    radius: float
+
+    @property
+    def end(self) -> np.ndarray:
+        """End point of the centerline."""
+        return self.start + self.direction * self.length
+
+
+@dataclass(frozen=True)
+class AirwayConfig:
+    """Geometry parameters of the synthetic airway.
+
+    Defaults give adult-scale dimensions in metres (trachea radius ~9 mm).
+    """
+
+    generations: int = 5
+    trachea_radius: float = 0.009
+    trachea_length_factor: float = 7.0   # length = factor * radius
+    branch_length_factor: float = 3.5
+    branch_angle_deg: float = 35.0
+    radius_ratio: float = MURRAY_RATIO
+    face_radius_factor: float = 2.5      # face hemisphere vs trachea radius
+    nasal_radius_factor: float = 0.8
+    seed: int = 2018                     # ICPP year; deterministic jitter
+
+    def __post_init__(self):
+        if self.generations < 0:
+            raise ValueError("generations must be >= 0")
+        if not 0 < self.radius_ratio < 1:
+            raise ValueError("radius_ratio must be in (0, 1)")
+
+
+def _rotate(v: np.ndarray, axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rodrigues rotation of ``v`` around unit ``axis`` by ``angle`` rad."""
+    c, s = np.cos(angle), np.sin(angle)
+    return (v * c + np.cross(axis, v) * s + axis * np.dot(axis, v) * (1 - c))
+
+
+def _perpendicular(v: np.ndarray) -> np.ndarray:
+    """Any unit vector perpendicular to ``v``."""
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(np.dot(helper, v)) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    p = np.cross(v, helper)
+    return p / np.linalg.norm(p)
+
+
+def build_airway_tree(config: Optional[AirwayConfig] = None) -> list[Segment]:
+    """Build the centerline tree: face -> nasal -> trachea -> generations.
+
+    Returns segments ordered root-first (parents before children).
+    """
+    cfg = config or AirwayConfig()
+    rng = np.random.default_rng(cfg.seed)
+    segments: list[Segment] = []
+    down = np.array([0.0, 0.0, -1.0])
+
+    # Face/hemisphere inlet: flow (and the aerosol) enters here.
+    face_radius = cfg.trachea_radius * cfg.face_radius_factor
+    face = Segment(sid=0, parent=-1, generation=GEN_FACE,
+                   start=np.array([0.0, 0.0, 0.0]), direction=down,
+                   length=face_radius * 1.2, radius=face_radius)
+    segments.append(face)
+
+    # Nasal cavity / pharynx.
+    nasal_radius = cfg.trachea_radius * cfg.nasal_radius_factor
+    nasal = Segment(sid=1, parent=0, generation=GEN_NASAL,
+                    start=face.end, direction=down,
+                    length=cfg.trachea_radius * 6.0, radius=nasal_radius)
+    segments.append(nasal)
+
+    # Trachea (generation 0).
+    trachea = Segment(sid=2, parent=1, generation=0,
+                      start=nasal.end, direction=down,
+                      length=cfg.trachea_radius * cfg.trachea_length_factor,
+                      radius=cfg.trachea_radius)
+    segments.append(trachea)
+
+    # Recursive symmetric bifurcation to generation G.
+    frontier = [trachea]
+    for gen in range(1, cfg.generations + 1):
+        next_frontier = []
+        radius = cfg.trachea_radius * cfg.radius_ratio ** gen
+        length = radius * cfg.branch_length_factor
+        for parent in frontier:
+            # Branching plane alternates per generation, with jitter so
+            # the tree fills space like a real bronchial tree.
+            base_perp = _perpendicular(parent.direction)
+            plane = _rotate(base_perp, parent.direction,
+                            gen * (np.pi / 2.0) + rng.uniform(-0.3, 0.3))
+            for sign in (+1.0, -1.0):
+                angle = np.deg2rad(cfg.branch_angle_deg
+                                   + rng.uniform(-5.0, 5.0))
+                direction = _rotate(parent.direction, plane, sign * angle)
+                direction = direction / np.linalg.norm(direction)
+                seg = Segment(sid=len(segments), parent=parent.sid,
+                              generation=gen, start=parent.end,
+                              direction=direction, length=length,
+                              radius=radius)
+                segments.append(seg)
+                next_frontier.append(seg)
+        frontier = next_frontier
+    return segments

@@ -1,0 +1,95 @@
+"""Element types of the hybrid respiratory mesh.
+
+The paper's 17.7M-element mesh mixes three volume element types (Sec. 2.1):
+
+* **prisms** in the boundary layer (extruded from the wall surface, to
+  resolve near-wall gradients),
+* **tetrahedra** in the core flow,
+* **pyramids** to transition from the prisms' quadrilateral faces to the
+  tetrahedra.
+
+This module defines the type metadata used everywhere: node counts, face
+definitions (for dual-graph construction), and reference decompositions into
+tetrahedra (for volume computation).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["ElementType", "NODES_PER_TYPE", "FACES_PER_TYPE",
+           "TET_DECOMPOSITION", "element_volumes"]
+
+
+class ElementType(enum.IntEnum):
+    """Volume element types (values used in ``Mesh.elem_types``)."""
+
+    TET = 0
+    PYRAMID = 1
+    PRISM = 2
+
+
+#: Number of nodes per element type.
+NODES_PER_TYPE = {
+    ElementType.TET: 4,
+    ElementType.PYRAMID: 5,
+    ElementType.PRISM: 6,
+}
+
+#: Local faces per element type (tuples of local node indices).  Triangular
+#: and quadrilateral faces; used to build the face-sharing dual graph.
+FACES_PER_TYPE = {
+    ElementType.TET: (
+        (0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3),
+    ),
+    # pyramid: quad base 0-1-2-3, apex 4
+    ElementType.PYRAMID: (
+        (0, 1, 2, 3), (0, 1, 4), (1, 2, 4), (2, 3, 4), (3, 0, 4),
+    ),
+    # prism: triangles 0-1-2 (bottom) and 3-4-5 (top), three quads
+    ElementType.PRISM: (
+        (0, 1, 2), (3, 4, 5), (0, 1, 4, 3), (1, 2, 5, 4), (2, 0, 3, 5),
+    ),
+}
+
+#: Decomposition of each reference element into tetrahedra (local indices),
+#: used for volume computation of arbitrary (possibly warped) elements.
+TET_DECOMPOSITION = {
+    ElementType.TET: ((0, 1, 2, 3),),
+    ElementType.PYRAMID: ((0, 1, 2, 4), (0, 2, 3, 4)),
+    ElementType.PRISM: ((0, 1, 2, 3), (1, 2, 3, 4), (2, 3, 4, 5)),
+}
+
+
+def _tet_volumes(coords: np.ndarray, conn: np.ndarray) -> np.ndarray:
+    """Signed volumes of tetrahedra given ``conn`` (n, 4) node indices."""
+    p0 = coords[conn[:, 0]]
+    d1 = coords[conn[:, 1]] - p0
+    d2 = coords[conn[:, 2]] - p0
+    d3 = coords[conn[:, 3]] - p0
+    return np.einsum("ij,ij->i", np.cross(d1, d2), d3) / 6.0
+
+
+def element_volumes(coords: np.ndarray, elem_type: ElementType,
+                    conn: np.ndarray) -> np.ndarray:
+    """Unsigned volumes of all elements of one type.
+
+    Parameters
+    ----------
+    coords:
+        (nnodes, 3) node coordinates.
+    elem_type:
+        The element type of every row in ``conn``.
+    conn:
+        (nelem, nodes_per_type) connectivity.
+    """
+    conn = np.asarray(conn)
+    if conn.ndim != 2 or conn.shape[1] != NODES_PER_TYPE[elem_type]:
+        raise ValueError(
+            f"connectivity shape {conn.shape} invalid for {elem_type.name}")
+    total = np.zeros(conn.shape[0])
+    for tet in TET_DECOMPOSITION[elem_type]:
+        total += np.abs(_tet_volumes(coords, conn[:, list(tet)]))
+    return total

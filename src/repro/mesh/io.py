@@ -1,0 +1,146 @@
+"""Mesh I/O: legacy-VTK text export (and a reader for round trips).
+
+Writes the hybrid airway mesh as a legacy VTK *unstructured grid* — the
+format every visualization tool (ParaView, VisIt, PyVista) opens — with the
+segment/region id attached as cell data, so deposition maps and partitions
+can be inspected visually.
+
+VTK cell-type ids: tetra = 10, pyramid = 14, wedge (triangular prism) = 13.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TextIO, Union
+
+import numpy as np
+
+from .elements import ElementType, NODES_PER_TYPE
+from .mesh import Mesh
+
+__all__ = ["write_vtk", "read_vtk", "VTK_CELL_TYPES"]
+
+VTK_CELL_TYPES = {
+    ElementType.TET: 10,
+    ElementType.PYRAMID: 14,
+    ElementType.PRISM: 13,
+}
+_TYPE_OF_VTK = {v: k for k, v in VTK_CELL_TYPES.items()}
+
+
+def _open(dest: Union[str, TextIO], mode: str):
+    if isinstance(dest, str):
+        return open(dest, mode), True
+    return dest, False
+
+
+def write_vtk(mesh: Mesh, dest: Union[str, TextIO],
+              cell_data: Optional[dict] = None,
+              title: str = "repro airway mesh") -> None:
+    """Write ``mesh`` as a legacy-VTK unstructured grid.
+
+    ``cell_data`` maps names to per-element scalar arrays; the mesh's
+    region labels are always included as ``region``.
+    """
+    data = {"region": mesh.regions}
+    if cell_data:
+        for name, values in cell_data.items():
+            values = np.asarray(values)
+            if values.shape != (mesh.nelem,):
+                raise ValueError(
+                    f"cell data {name!r} must be ({mesh.nelem},), got "
+                    f"{values.shape}")
+            data[name] = values
+    fh, owned = _open(dest, "w")
+    try:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write(title.replace("\n", " ") + "\n")
+        fh.write("ASCII\nDATASET UNSTRUCTURED_GRID\n")
+        fh.write(f"POINTS {mesh.nnodes} double\n")
+        for x, y, z in mesh.coords:
+            fh.write(f"{float(x)!r} {float(y)!r} {float(z)!r}\n")
+        sizes = [NODES_PER_TYPE[ElementType(t)] for t in mesh.elem_types]
+        total = sum(s + 1 for s in sizes)
+        fh.write(f"CELLS {mesh.nelem} {total}\n")
+        for e in range(mesh.nelem):
+            nodes = mesh.nodes_of(e)
+            fh.write(str(len(nodes)) + " "
+                     + " ".join(str(int(n)) for n in nodes) + "\n")
+        fh.write(f"CELL_TYPES {mesh.nelem}\n")
+        for t in mesh.elem_types:
+            fh.write(f"{VTK_CELL_TYPES[ElementType(t)]}\n")
+        fh.write(f"CELL_DATA {mesh.nelem}\n")
+        for name, values in data.items():
+            kind = ("int" if np.issubdtype(values.dtype, np.integer)
+                    else "double")
+            fh.write(f"SCALARS {name} {kind} 1\nLOOKUP_TABLE default\n")
+            for v in values:
+                fh.write(f"{v}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_vtk(src: Union[str, TextIO]) -> tuple[Mesh, dict]:
+    """Read a legacy-VTK unstructured grid written by :func:`write_vtk`.
+
+    Returns (mesh, cell_data); the ``region`` array is restored into the
+    mesh and also kept in ``cell_data``.
+    """
+    fh, owned = _open(src, "r")
+    try:
+        tokens = fh.read().split("\n")
+    finally:
+        if owned:
+            fh.close()
+    idx = 0
+
+    def next_line():
+        nonlocal idx
+        while idx < len(tokens):
+            line = tokens[idx].strip()
+            idx += 1
+            if line:
+                return line
+        raise ValueError("unexpected end of VTK file")
+
+    if not next_line().startswith("# vtk"):
+        raise ValueError("not a legacy VTK file")
+    next_line()  # title
+    if next_line() != "ASCII":
+        raise ValueError("only ASCII VTK supported")
+    if next_line() != "DATASET UNSTRUCTURED_GRID":
+        raise ValueError("only UNSTRUCTURED_GRID supported")
+    head = next_line().split()
+    npoints = int(head[1])
+    coords = np.array([[float(v) for v in next_line().split()]
+                       for _ in range(npoints)])
+    head = next_line().split()
+    ncells = int(head[1])
+    conn = np.full((ncells, 6), -1, dtype=np.int32)
+    for e in range(ncells):
+        parts = [int(v) for v in next_line().split()]
+        conn[e, :parts[0]] = parts[1:1 + parts[0]]
+    head = next_line().split()
+    assert head[0] == "CELL_TYPES"
+    types = np.array([_TYPE_OF_VTK[int(next_line())] for _ in range(ncells)],
+                     dtype=np.int8)
+    cell_data: dict = {}
+    regions = None
+    line = next_line()
+    assert line.startswith("CELL_DATA")
+    while True:
+        try:
+            line = next_line()
+        except ValueError:
+            break
+        if not line.startswith("SCALARS"):
+            break
+        _, name, kind, _ = line.split()
+        next_line()  # LOOKUP_TABLE
+        cast = int if kind == "int" else float
+        values = np.array([cast(next_line()) for _ in range(ncells)])
+        cell_data[name] = values
+        if name == "region":
+            regions = values.astype(np.int32)
+    mesh = Mesh(coords, types, conn, regions=regions)
+    return mesh, cell_data

@@ -1,0 +1,119 @@
+"""Mesh quality metrics.
+
+Production CFD meshes live or die by element quality (the paper's mesh is
+carefully graded: boundary-layer prisms, core tets, transition pyramids).
+This module computes the standard per-element metrics used to vet a mesh
+before running on it:
+
+* **volume** (must be positive — no inverted elements),
+* **edge aspect ratio** (longest/shortest edge),
+* **shape regularity** for tets (normalized volume / rms-edge^3 — 1 for the
+  regular tetrahedron, -> 0 for slivers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .elements import ElementType, NODES_PER_TYPE
+from .mesh import Mesh
+
+__all__ = ["QualityReport", "edge_aspect_ratios", "tet_regularity",
+           "quality_report"]
+
+#: Edges (local node pairs) per element type.
+_EDGES = {
+    ElementType.TET: ((0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)),
+    ElementType.PYRAMID: ((0, 1), (1, 2), (2, 3), (3, 0),
+                          (0, 4), (1, 4), (2, 4), (3, 4)),
+    ElementType.PRISM: ((0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3),
+                        (0, 3), (1, 4), (2, 5)),
+}
+
+#: Regular-tetrahedron constant: V = edge^3 / (6 sqrt 2), so
+#: V / rms_edge^3 = 1/(6 sqrt 2) for the perfect element.
+_REG_TET = 1.0 / (6.0 * np.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Aggregate quality statistics of a mesh."""
+
+    n_elements: int
+    min_volume: float
+    total_volume: float
+    max_aspect: float
+    mean_aspect: float
+    min_tet_regularity: float
+    inverted: int
+
+    @property
+    def ok(self) -> bool:
+        """A usable mesh: no inverted elements, bounded aspect ratios."""
+        return self.inverted == 0 and self.max_aspect < 100.0
+
+    def format(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (f"{self.n_elements} elements, volume "
+                f"{self.total_volume:.3e} (min {self.min_volume:.3e}, "
+                f"{self.inverted} inverted), aspect max/mean "
+                f"{self.max_aspect:.1f}/{self.mean_aspect:.1f}, "
+                f"worst tet regularity {self.min_tet_regularity:.3f}")
+
+
+def edge_aspect_ratios(mesh: Mesh) -> np.ndarray:
+    """(nelem,) longest/shortest edge ratio per element."""
+    out = np.ones(mesh.nelem)
+    for etype in ElementType:
+        ids = mesh.elements_of_type(etype)
+        if len(ids) == 0:
+            continue
+        nn = NODES_PER_TYPE[etype]
+        conn = mesh.elem_nodes[ids][:, :nn]
+        lengths = []
+        for a, b in _EDGES[etype]:
+            d = mesh.coords[conn[:, a]] - mesh.coords[conn[:, b]]
+            lengths.append(np.linalg.norm(d, axis=1))
+        lengths = np.stack(lengths, axis=1)
+        shortest = np.maximum(lengths.min(axis=1), 1e-300)
+        out[ids] = lengths.max(axis=1) / shortest
+    return out
+
+
+def tet_regularity(mesh: Mesh) -> np.ndarray:
+    """Shape regularity of the tetrahedra (1 = regular, 0 = degenerate);
+    non-tet elements get NaN."""
+    out = np.full(mesh.nelem, np.nan)
+    ids = mesh.elements_of_type(ElementType.TET)
+    if len(ids) == 0:
+        return out
+    conn = mesh.elem_nodes[ids][:, :4]
+    p = mesh.coords[conn]
+    d1, d2, d3 = (p[:, 1] - p[:, 0], p[:, 2] - p[:, 0], p[:, 3] - p[:, 0])
+    vol = np.abs(np.einsum("ij,ij->i", np.cross(d1, d2), d3)) / 6.0
+    rms = np.zeros(len(ids))
+    for a, b in _EDGES[ElementType.TET]:
+        d = p[:, a] - p[:, b]
+        rms += np.einsum("ij,ij->i", d, d)
+    rms = np.sqrt(rms / 6.0)
+    out[ids] = vol / np.maximum(rms, 1e-300) ** 3 / _REG_TET
+    return out
+
+
+def quality_report(mesh: Mesh) -> QualityReport:
+    """Compute the aggregate :class:`QualityReport` of ``mesh``."""
+    volumes = mesh.volumes()
+    aspects = edge_aspect_ratios(mesh)
+    reg = tet_regularity(mesh)
+    reg_vals = reg[~np.isnan(reg)]
+    return QualityReport(
+        n_elements=mesh.nelem,
+        min_volume=float(volumes.min()) if mesh.nelem else 0.0,
+        total_volume=float(volumes.sum()),
+        max_aspect=float(aspects.max()) if mesh.nelem else 1.0,
+        mean_aspect=float(aspects.mean()) if mesh.nelem else 1.0,
+        min_tet_regularity=(float(reg_vals.min()) if len(reg_vals)
+                            else float("nan")),
+        inverted=int((volumes <= 0).sum()))

@@ -1,0 +1,130 @@
+"""Analytic carrier-flow field along the airway tree.
+
+The paper solves the incompressible Navier-Stokes equations for the airflow
+of a rapid inhalation; the aerosol is transported in that field.  Our
+reproduction runs the *numerical machinery* of the fluid step (assembly,
+Krylov solvers, SGS — see :mod:`repro.app`), but for transporting particles
+we use a conservation-consistent analytic field over the airway tree:
+
+* each segment carries a flow rate ``Q`` — the inlet flow, halved at every
+  bifurcation (mass conservation over a symmetric tree);
+* within a tube the velocity is a Poiseuille profile along the local axis:
+  ``u = 2 (Q / pi R^2) (1 - (r/R)^2) d``.
+
+This keeps the particle physics (drag toward the local fluid velocity,
+gravitational drift, wall deposition) realistic while making experiments
+deterministic and mesh-independent — the substitution recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..mesh.airway import Segment
+
+__all__ = ["AirwayFlow"]
+
+
+@dataclass(frozen=True)
+class _SegArrays:
+    starts: np.ndarray      # (ns, 3)
+    directions: np.ndarray  # (ns, 3)
+    lengths: np.ndarray     # (ns,)
+    radii: np.ndarray       # (ns,)
+    umax: np.ndarray        # (ns,) peak axial velocity
+
+
+class AirwayFlow:
+    """Poiseuille flow over an airway tree.
+
+    Parameters
+    ----------
+    segments:
+        The centerline tree from :func:`repro.mesh.airway.build_airway_tree`.
+    inlet_flow_rate:
+        Volumetric flow through the face inlet in m^3/s.  The default of
+        1 L/s corresponds to the rapid inhalation the paper simulates.
+    """
+
+    def __init__(self, segments: Sequence[Segment],
+                 inlet_flow_rate: float = 1.0e-3):
+        if inlet_flow_rate <= 0:
+            raise ValueError("inlet_flow_rate must be positive")
+        self.segments = list(segments)
+        self.inlet_flow_rate = inlet_flow_rate
+        n_children: dict[int, int] = {}
+        for seg in self.segments:
+            if seg.parent >= 0:
+                n_children[seg.parent] = n_children.get(seg.parent, 0) + 1
+        flow: dict[int, float] = {}
+        for seg in self.segments:  # parents precede children
+            if seg.parent < 0:
+                flow[seg.sid] = inlet_flow_rate
+            else:
+                flow[seg.sid] = flow[seg.parent] / n_children[seg.parent]
+        umax = np.array([2.0 * flow[s.sid] / (np.pi * s.radius ** 2)
+                         for s in self.segments])
+        self._arr = _SegArrays(
+            starts=np.array([s.start for s in self.segments]),
+            directions=np.array([s.direction for s in self.segments]),
+            lengths=np.array([s.length for s in self.segments]),
+            radii=np.array([s.radius for s in self.segments]),
+            umax=umax)
+        self.flow_rates = flow
+
+    # -- geometry queries ------------------------------------------------------
+    def locate(self, points: np.ndarray
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """For each point: (segment index, axial fraction, radial fraction).
+
+        The owning segment is the one containing the point (radial fraction
+        <= 1 with axial projection inside [0, L]); ties and outside points
+        resolve to the segment with the smallest radial fraction.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        a = self._arr
+        rel = points[:, None, :] - a.starts[None, :, :]       # (np, ns, 3)
+        t = np.einsum("psj,sj->ps", rel, a.directions)        # axial coord
+        t_in = (t >= -1e-12) & (t <= a.lengths[None, :] + 1e-12)
+        t_clamped = np.clip(t, 0.0, a.lengths[None, :])
+        closest = (a.starts[None, :, :]
+                   + t_clamped[:, :, None] * a.directions[None, :, :])
+        r = np.linalg.norm(points[:, None, :] - closest, axis=2)
+        rfrac = r / a.radii[None, :]
+        # prefer segments whose axial span contains the point
+        penalty = np.where(t_in, 0.0, 1e6)
+        score = rfrac + penalty
+        seg_idx = np.argmin(score, axis=1)
+        rows = np.arange(len(points))
+        axial = t_clamped[rows, seg_idx] / a.lengths[seg_idx]
+        radial = rfrac[rows, seg_idx]
+        return seg_idx, axial, radial
+
+    def velocity(self, points: np.ndarray) -> np.ndarray:
+        """Fluid velocity (n, 3) at ``points`` (zero outside the airway)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        seg_idx, _, radial = self.locate(points)
+        a = self._arr
+        profile = np.clip(1.0 - radial ** 2, 0.0, None)
+        return (a.umax[seg_idx] * profile)[:, None] * a.directions[seg_idx]
+
+    def nodal_velocity(self, coords: np.ndarray) -> np.ndarray:
+        """Velocity sampled at mesh nodes (used as the resolved field)."""
+        return self.velocity(coords)
+
+    def wall_gap(self, points: np.ndarray) -> np.ndarray:
+        """Distance fraction to the wall: 1 - r/R (negative = outside)."""
+        _, _, radial = self.locate(points)
+        return 1.0 - radial
+
+    def is_terminal(self, seg_idx: np.ndarray) -> np.ndarray:
+        """Whether the segment has no children (distal outlet)."""
+        has_child = np.zeros(len(self.segments), dtype=bool)
+        for seg in self.segments:
+            if seg.parent >= 0:
+                has_child[seg.parent] = True
+        return ~has_child[seg_idx]

@@ -1,0 +1,346 @@
+"""Multilevel graph partitioning (a from-scratch Metis work-alike).
+
+The paper uses Metis twice: to decompose the mesh into per-MPI-rank domains
+and, inside each rank, into the subdomains that become multidependence
+tasks.  This module implements the standard multilevel recursive-bisection
+pipeline:
+
+1. **Coarsening** — repeated heavy-edge matching contracts the graph until
+   it is small;
+2. **Initial partition** — greedy region growing from a pseudo-peripheral
+   vertex until half of the total vertex weight is reached;
+3. **Uncoarsening + refinement** — the partition is projected back level by
+   level and improved with Fiduccia–Mattheyses-style boundary passes
+   (positive-gain moves under a balance constraint).
+
+Recursive bisection yields k-way partitions for any ``nparts`` (weights are
+split proportionally for odd counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..mesh.mesh import CSRGraph
+
+__all__ = ["partition_graph", "edge_cut", "partition_weights"]
+
+
+# ---------------------------------------------------------------------------
+# weighted-graph working representation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WGraph:
+    """CSR graph with vertex and edge weights (contraction-friendly)."""
+
+    xadj: np.ndarray
+    adjncy: np.ndarray
+    eweights: np.ndarray
+    vweights: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.xadj) - 1
+
+    def neighbors(self, v: int):
+        lo, hi = self.xadj[v], self.xadj[v + 1]
+        return self.adjncy[lo:hi], self.eweights[lo:hi]
+
+
+def _wgraph_from_csr(graph: CSRGraph, vweights: np.ndarray) -> _WGraph:
+    return _WGraph(xadj=graph.xadj.copy(),
+                   adjncy=graph.adjncy.astype(np.int64),
+                   eweights=np.ones(len(graph.adjncy), dtype=np.float64),
+                   vweights=np.asarray(vweights, dtype=np.float64))
+
+
+def _subgraph(g: _WGraph, idx: np.ndarray) -> _WGraph:
+    """Induced subgraph on ``idx`` (renumbered 0..len(idx)-1)."""
+    remap = np.full(g.n, -1, dtype=np.int64)
+    remap[idx] = np.arange(len(idx))
+    xadj = [0]
+    adjncy: list[int] = []
+    ew: list[float] = []
+    for v in idx:
+        nbrs, w = g.neighbors(v)
+        keep = remap[nbrs] >= 0
+        adjncy.extend(remap[nbrs[keep]])
+        ew.extend(w[keep])
+        xadj.append(len(adjncy))
+    return _WGraph(xadj=np.asarray(xadj, dtype=np.int64),
+                   adjncy=np.asarray(adjncy, dtype=np.int64),
+                   eweights=np.asarray(ew, dtype=np.float64),
+                   vweights=g.vweights[idx])
+
+
+# ---------------------------------------------------------------------------
+# coarsening
+# ---------------------------------------------------------------------------
+
+def _heavy_edge_matching(g: _WGraph, rng: np.random.Generator) -> np.ndarray:
+    """Greedy heavy-edge matching; returns coarse-vertex id per vertex."""
+    n = g.n
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    coarse = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in order:
+        if match[v] >= 0:
+            continue
+        nbrs, w = g.neighbors(v)
+        best, best_w = -1, -1.0
+        for u, wu in zip(nbrs, w):
+            if match[u] < 0 and u != v and wu > best_w:
+                best, best_w = int(u), float(wu)
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+            coarse[v] = coarse[best] = next_id
+        else:
+            match[v] = v
+            coarse[v] = next_id
+        next_id += 1
+    return coarse
+
+
+def _contract(g: _WGraph, coarse: np.ndarray) -> _WGraph:
+    """Contract matched vertices into a coarse graph."""
+    nc = int(coarse.max()) + 1
+    vweights = np.bincount(coarse, weights=g.vweights, minlength=nc)
+    src = np.repeat(coarse, np.diff(g.xadj).astype(np.int64))
+    dst = coarse[g.adjncy]
+    keep = src != dst
+    src, dst, ew = src[keep], dst[keep], g.eweights[keep]
+    # aggregate parallel edges
+    key = src * nc + dst
+    order = np.argsort(key, kind="stable")
+    key, ew = key[order], ew[order]
+    uniq, start = np.unique(key, return_index=True)
+    sums = np.add.reduceat(ew, start) if len(ew) else np.zeros(0)
+    usrc = (uniq // nc).astype(np.int64)
+    udst = (uniq % nc).astype(np.int64)
+    xadj = np.zeros(nc + 1, dtype=np.int64)
+    np.cumsum(np.bincount(usrc, minlength=nc), out=xadj[1:])
+    return _WGraph(xadj=xadj, adjncy=udst, eweights=sums, vweights=vweights)
+
+
+# ---------------------------------------------------------------------------
+# initial partition + refinement
+# ---------------------------------------------------------------------------
+
+def _pseudo_peripheral(g: _WGraph, rng: np.random.Generator) -> int:
+    """A vertex far from 'the middle': BFS twice from a random start."""
+    start = int(rng.integers(g.n))
+    for _ in range(2):
+        dist = np.full(g.n, -1, dtype=np.int64)
+        dist[start] = 0
+        queue = [start]
+        last = start
+        while queue:
+            nxt = []
+            for v in queue:
+                for u in g.neighbors(v)[0]:
+                    if dist[u] < 0:
+                        dist[u] = dist[v] + 1
+                        nxt.append(int(u))
+                        last = int(u)
+            queue = nxt
+        start = last
+    return start
+
+
+def _grow_partition(g: _WGraph, target: float,
+                    rng: np.random.Generator) -> np.ndarray:
+    """Greedy BFS region growing until ``target`` vertex weight is reached.
+
+    The first seed is a pseudo-peripheral vertex (grows a compact region
+    from one end of the graph); later seeds — needed only for disconnected
+    graphs — are random remaining vertices.
+    """
+    side = np.zeros(g.n, dtype=np.int8)
+    remaining = np.ones(g.n, dtype=bool)
+    grown = 0.0
+    first = True
+    while grown < target and remaining.any():
+        if first:
+            start = _pseudo_peripheral(g, rng)
+            first = False
+            if not remaining[start]:  # pragma: no cover - defensive
+                start = int(np.nonzero(remaining)[0][0])
+        else:
+            seeds = np.nonzero(remaining)[0]
+            start = int(seeds[rng.integers(len(seeds))])
+        queue = [start]
+        remaining[start] = False
+        side[start] = 1
+        grown += g.vweights[start]
+        while queue and grown < target:
+            v = queue.pop(0)
+            for u in g.neighbors(v)[0]:
+                if remaining[u]:
+                    remaining[u] = False
+                    side[u] = 1
+                    grown += g.vweights[u]
+                    queue.append(int(u))
+                    if grown >= target:
+                        break
+    return side
+
+
+def _boundary_refine(g: _WGraph, side: np.ndarray, target0: float,
+                     tol: float = 0.04, passes: int = 4) -> None:
+    """FM-style refinement: move positive-gain boundary vertices while the
+    balance stays within ``tol`` of the target split.
+
+    A rebalancing pre-pass first repairs any imbalance left by region
+    growing (which overshoots by up to one BFS frontier): highest-gain
+    vertices of the heavy side move until the split is inside the band.
+    """
+    total = g.vweights.sum()
+    w0 = g.vweights[side == 0].sum()
+    lo0, hi0 = target0 - tol * total, target0 + tol * total
+    guard = 0
+    while not (lo0 <= w0 <= hi0) and guard < g.n:
+        heavy = 0 if w0 > hi0 else 1
+        best, best_gain = -1, -np.inf
+        for v in range(g.n):
+            if side[v] != heavy:
+                continue
+            nbrs, w = g.neighbors(v)
+            same = side[nbrs] == heavy
+            gain = w[~same].sum() - w[same].sum()
+            if gain > best_gain:
+                best, best_gain = v, gain
+        if best < 0:
+            break
+        side[best] ^= 1
+        w0 += g.vweights[best] * (1 if heavy == 1 else -1)
+        guard += 1
+    for _ in range(passes):
+        # gain(v) = external edge weight - internal edge weight
+        gains = np.zeros(g.n)
+        for v in range(g.n):
+            nbrs, w = g.neighbors(v)
+            if len(nbrs) == 0:
+                continue
+            same = side[nbrs] == side[v]
+            gains[v] = w[~same].sum() - w[same].sum()
+        candidates = np.argsort(-gains)
+        moved = 0
+        for v in candidates:
+            if gains[v] <= 0:
+                break
+            wv = g.vweights[v]
+            if side[v] == 0:
+                new_w0 = w0 - wv
+            else:
+                new_w0 = w0 + wv
+            if not (lo0 <= new_w0 <= hi0):
+                continue
+            side[v] ^= 1
+            w0 = new_w0
+            moved += 1
+        if moved == 0:
+            break
+
+
+def _bisect(g: _WGraph, frac0: float, rng: np.random.Generator,
+            coarsen_to: int = 60) -> np.ndarray:
+    """Multilevel bisection: side array (0/1), side 0 ~ ``frac0`` of weight."""
+    levels: list[tuple[_WGraph, np.ndarray]] = []
+    current = g
+    while current.n > coarsen_to:
+        coarse = _heavy_edge_matching(current, rng)
+        nc = int(coarse.max()) + 1
+        if nc >= current.n:  # no progress
+            break
+        levels.append((current, coarse))
+        current = _contract(current, coarse)
+    total = current.vweights.sum()
+    side = _grow_partition(current, total * (1.0 - frac0), rng)
+    # side==1 was grown to (1-frac0); relabel so side 0 has frac0 weight
+    _boundary_refine(current, side, frac0 * total)
+    while levels:
+        finer, coarse = levels.pop()
+        side = side[coarse]
+        _boundary_refine(finer, side, frac0 * finer.vweights.sum())
+    return side
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+def partition_graph(graph: CSRGraph, nparts: int,
+                    vertex_weights: Optional[np.ndarray] = None,
+                    seed: int = 0) -> np.ndarray:
+    """Partition ``graph`` into ``nparts`` balanced parts.
+
+    Returns (n,) int32 labels.  Balance criterion: vertex weight (unit
+    weights by default — matching the paper, which balances element counts
+    and lets per-type cost differences create the observed imbalance).
+    """
+    n = graph.n
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    if vertex_weights is None:
+        vertex_weights = np.ones(n)
+    else:
+        vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+        if vertex_weights.shape != (n,):
+            raise ValueError("vertex_weights must be (n,)")
+    labels = np.zeros(n, dtype=np.int32)
+    if nparts == 1 or n == 0:
+        return labels
+    rng = np.random.default_rng(seed)
+    g = _wgraph_from_csr(graph, vertex_weights)
+    _recurse(g, np.arange(n), nparts, 0, labels, rng)
+    return labels
+
+
+def _recurse(g: _WGraph, idx: np.ndarray, nparts: int, offset: int,
+             labels: np.ndarray, rng: np.random.Generator) -> None:
+    if nparts == 1 or len(idx) == 0:
+        labels[idx] = offset
+        return
+    if len(idx) <= nparts:
+        # degenerate: one vertex per part
+        for i, v in enumerate(idx):
+            labels[v] = offset + (i % nparts)
+        return
+    k0 = nparts // 2
+    frac0 = k0 / nparts
+    sub = _subgraph(g, idx) if len(idx) < g.n else g
+    side = _bisect(sub, frac0, rng)
+    left = idx[side == 0]
+    right = idx[side == 1]
+    if len(left) == 0 or len(right) == 0:
+        half = len(idx) // 2
+        left, right = idx[:half], idx[half:]
+    _recurse(g, left, k0, offset, labels, rng)
+    _recurse(g, right, nparts - k0, offset + k0, labels, rng)
+
+
+def edge_cut(graph: CSRGraph, labels: np.ndarray) -> int:
+    """Number of edges crossing parts (each undirected edge counted once)."""
+    labels = np.asarray(labels)
+    src = np.repeat(np.arange(graph.n),
+                    np.diff(graph.xadj).astype(np.int64))
+    cross = labels[src] != labels[graph.adjncy]
+    return int(cross.sum()) // 2
+
+
+def partition_weights(labels: np.ndarray,
+                      vertex_weights: Optional[np.ndarray] = None,
+                      nparts: Optional[int] = None) -> np.ndarray:
+    """Total vertex weight per part."""
+    labels = np.asarray(labels)
+    if vertex_weights is None:
+        vertex_weights = np.ones(len(labels))
+    n = nparts if nparts is not None else (int(labels.max()) + 1
+                                           if len(labels) else 0)
+    return np.bincount(labels, weights=vertex_weights, minlength=n)

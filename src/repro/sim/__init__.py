@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate (engine, events, resources).
+
+See :mod:`repro.sim.engine` for the event loop and :mod:`repro.sim.resources`
+for synchronization primitives.
+"""
+
+from .engine import AllOf, AnyOf, Engine, Event, Process, SimulationError, Timeout
+from .resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

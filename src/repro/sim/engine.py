@@ -1,0 +1,322 @@
+"""Discrete-event simulation (DES) engine.
+
+This module is the substrate on which the whole reproduction runs: simulated
+MPI ranks, OpenMP-like worker cores, and the DLB library are all *processes*
+(Python generators) advancing a shared simulated clock.  The design follows
+the classic event-list pattern (as popularized by SimPy, re-implemented here
+from scratch): processes yield :class:`Event` objects and are resumed when the
+event triggers.
+
+Only simulated time passes between events; the engine is deterministic given a
+deterministic set of processes, which is what makes the paper's experiments
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (e.g. re-triggering an event)."""
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it can be made to :meth:`succeed` (optionally
+    carrying a value) or :meth:`fail` (carrying an exception).  Processes that
+    yield a pending event are suspended until it triggers.
+    """
+
+    __slots__ = ("engine", "callbacks", "_triggered", "_processed", "_ok",
+                 "_value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self._ok: Optional[bool] = None
+        self._value: Any = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already occurred."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value the event carries (or the exception if it failed)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, scheduling its callbacks *now*."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.engine._post(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiting processes see ``exc`` raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exc
+        self.engine._post(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` simulated time.
+
+    The trigger state is applied when the engine's clock reaches the deadline
+    (not at construction), so timeouts compose correctly with :class:`AllOf`
+    and :class:`AnyOf`.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(engine)
+        self.delay = delay
+        self._value = value
+        engine._schedule_at(engine.now + delay, self)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process driving a generator of events.
+
+    The process itself is an event: it triggers (with the generator's return
+    value) when the generator finishes, so processes can wait on each other.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on")
+
+    def __init__(self, engine: "Engine", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume once at current time.
+        boot = Event(engine)
+        boot.callbacks.append(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator has not yet finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            if not self._triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self._triggered:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            self.generator.close()
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"))
+            return
+        self._waiting_on = target
+        if target._processed:
+            # Callbacks already ran; schedule an immediate relay carrying the
+            # event outcome so this process resumes at the current time.
+            relay = Event(self.engine)
+            relay.callbacks.append(self._resume)
+            if target._ok:
+                relay.succeed(target._value)
+            else:
+                relay.fail(target._value)
+        else:
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev._processed:
+                self._on_child(ev)
+            else:
+                ev.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* child events have triggered.
+
+    Value is the list of child values in construction order.  Fails as soon
+    as any child fails.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed([ev.value for ev in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when the *first* child event triggers (value = its value)."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.ok:
+            self.succeed(event.value)
+        else:
+            self.fail(event.value)
+
+
+class Engine:
+    """The event loop: a priority queue of (time, seq, event) entries.
+
+    Usage::
+
+        eng = Engine()
+
+        def prog(eng):
+            yield eng.timeout(1.5)
+            return "done"
+
+        p = eng.process(prog(eng))
+        eng.run()
+        assert eng.now == 1.5 and p.value == "done"
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._n_events_processed = 0
+
+    # -- factory helpers ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register ``generator`` as a new process starting at current time."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering at the first of ``events``."""
+        return AnyOf(self, events)
+
+    # -- scheduling (internal) ----------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        heapq.heappush(self._queue, (when, next(self._seq), event))
+
+    def _post(self, event: Event) -> None:
+        """Schedule a just-triggered event's callbacks at the current time."""
+        heapq.heappush(self._queue, (self.now, next(self._seq), event))
+
+    # -- running --------------------------------------------------------------
+    def step(self) -> None:
+        """Process a single event from the queue, advancing the clock."""
+        when, _, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        if not event._triggered:
+            # A Timeout reaching its deadline: apply the trigger state now.
+            event._triggered = True
+            event._ok = True
+        self._n_events_processed += 1
+        event._processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for cb in callbacks:
+            cb(event)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``."""
+        if until is not None and until < self.now:
+            raise SimulationError("cannot run into the past")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events processed so far (diagnostics)."""
+        return self._n_events_processed

@@ -1,0 +1,109 @@
+"""Synchronization and queuing primitives built on the DES engine.
+
+Two primitives cover every need of the simulated MPI layer and the task
+runtime:
+
+* :class:`Resource` — a counted semaphore with FIFO grant order (used for
+  core pools and mutual exclusion).
+* :class:`Store` — an unbounded FIFO of items with blocking ``get`` (used for
+  MPI mailboxes and work queues).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+from .engine import Engine, Event, SimulationError
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """A counted resource with ``capacity`` slots, granted in FIFO order.
+
+    ``request()`` returns an event that triggers when a slot is granted;
+    ``release()`` frees a slot.  The value of the request event is the
+    resource itself, enabling ``grant = yield res.request()``.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-granted slots."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event triggers when granted."""
+        ev = Event(self.engine)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free one slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter: _in_use unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO of items with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event carrying the item; if the
+    store is empty the event stays pending until a matching ``put`` arrives.
+    An optional filter predicate supports tag/source matching for MPI
+    mailboxes.
+    """
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = (
+            deque())
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, delivering it to the oldest matching getter."""
+        for idx, (ev, pred) in enumerate(self._getters):
+            if pred is None or pred(item):
+                del self._getters[idx]
+                ev.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Request the oldest item matching ``predicate`` (or any item)."""
+        ev = Event(self.engine)
+        for idx, item in enumerate(self._items):
+            if predicate is None or predicate(item):
+                del self._items[idx]
+                ev.succeed(item)
+                return ev
+        self._getters.append((ev, predicate))
+        return ev
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of queued items (diagnostics only)."""
+        return list(self._items)

@@ -1,0 +1,16 @@
+"""Simulated MPI: world/communicators, point-to-point and collective
+operations, and the PMPI interception layer used by DLB."""
+
+from .comm import ANY_SOURCE, ANY_TAG, Comm, Message, MPIError, World
+from .pmpi import HookList, PMPIHook
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "HookList",
+    "Message",
+    "MPIError",
+    "PMPIHook",
+    "World",
+]

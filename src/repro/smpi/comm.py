@@ -1,0 +1,503 @@
+"""Simulated MPI: communicators, point-to-point, and collectives.
+
+Rank programs are Python generators driven by the DES engine.  The API
+mirrors mpi4py's lower-case object interface (``send``/``recv``/``isend``/
+``bcast``/``allreduce``/...), with two differences imposed by the simulated
+setting:
+
+* blocking calls are written ``value = yield from comm.recv(...)`` because
+  the program is itself a generator;
+* message cost is computed from the cluster model (latency + bytes/bandwidth,
+  intra-node vs. inter-node) rather than a real network.
+
+Every blocking call is wrapped in the PMPI hook layer (:mod:`repro.smpi.pmpi`)
+so that DLB can observe when ranks stop computing — exactly how the real DLB
+library attaches to applications.
+
+A :class:`World` is the whole job; :meth:`World.split` creates disjoint
+sub-communicators, used by the coupled fluid/particle execution mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..machine import ClusterModel, rank_to_node
+from ..sim import Engine, Event, Store
+from .pmpi import HookList, PMPIHook
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Comm", "World", "MPIError"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class MPIError(RuntimeError):
+    """Raised on misuse of the simulated MPI API."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight point-to-point message (world-rank addressed)."""
+
+    src: int
+    dest: int
+    tag: int
+    comm_id: int
+    payload: Any
+    nbytes: float
+
+
+def _payload_nbytes(payload: Any, nbytes: Optional[float]) -> float:
+    """Message size: explicit, from ``.nbytes`` (numpy), or a small default."""
+    if nbytes is not None:
+        return float(nbytes)
+    measured = getattr(payload, "nbytes", None)
+    if measured is not None:
+        return float(measured)
+    return 64.0
+
+
+class _Collective:
+    """State of one in-flight collective operation (one per call site)."""
+
+    __slots__ = ("kind", "n", "contribs", "done", "nbytes_total")
+
+    def __init__(self, engine: Engine, kind: str, n: int):
+        self.kind = kind
+        self.n = n
+        self.contribs: dict[int, Any] = {}
+        self.done: Event = engine.event()
+        self.nbytes_total = 0.0
+
+
+class Comm:
+    """A communicator: an ordered group of world ranks.
+
+    One :class:`Comm` instance exists per (group, member); ``rank``/``size``
+    follow MPI conventions (local rank within the group).
+    """
+
+    def __init__(self, world: "World", comm_id: int, group: Sequence[int],
+                 rank: int):
+        self._world = world
+        self.comm_id = comm_id
+        self.group = tuple(group)
+        self.rank = rank
+        self.world_rank = self.group[rank]
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in this communicator."""
+        return len(self.group)
+
+    @property
+    def engine(self) -> Engine:
+        """The underlying simulation engine."""
+        return self._world.engine
+
+    @property
+    def node(self) -> int:
+        """Node index this rank is placed on."""
+        return self._world.node_of(self.world_rank)
+
+    def world_rank_of(self, local_rank: int) -> int:
+        """Translate a rank local to this communicator to a world rank."""
+        return self.group[local_rank]
+
+    # -- internal helpers -----------------------------------------------------
+    def _blocking(self, call: str):
+        world = self._world
+        world.hooks.enter(self.world_rank, call)
+        t0 = world.engine.now
+        return t0
+
+    def _unblock(self, call: str, t0: float) -> None:
+        world = self._world
+        world.hooks.exit(self.world_rank, call)
+        world.account_mpi(self.world_rank, call, t0, world.engine.now)
+
+    # -- point to point -------------------------------------------------------
+    def send(self, payload: Any, dest: int, tag: int = 0,
+             nbytes: Optional[float] = None):
+        """Blocking send to local rank ``dest`` (generator; use yield from)."""
+        if not 0 <= dest < self.size:
+            raise MPIError(f"dest {dest} out of range for comm size {self.size}")
+        t0 = self._blocking("send")
+        yield from self._transfer(payload, dest, tag, nbytes)
+        self._unblock("send", t0)
+
+    def isend(self, payload: Any, dest: int, tag: int = 0,
+              nbytes: Optional[float] = None) -> Event:
+        """Non-blocking send; returns an event triggering at delivery."""
+        if not 0 <= dest < self.size:
+            raise MPIError(f"dest {dest} out of range for comm size {self.size}")
+        return self._world.engine.process(
+            self._transfer(payload, dest, tag, nbytes),
+            name=f"isend[{self.world_rank}->{self.group[dest]}]")
+
+    def _transfer(self, payload: Any, dest: int, tag: int,
+                  nbytes: Optional[float]):
+        world = self._world
+        size = _payload_nbytes(payload, nbytes)
+        dest_world = self.group[dest]
+        delay = world.cluster.message_seconds(
+            world.node_of(self.world_rank), world.node_of(dest_world), size)
+        yield world.engine.timeout(delay)
+        world.deliver(Message(src=self.rank, dest=dest, tag=tag,
+                              comm_id=self.comm_id, payload=payload,
+                              nbytes=size), dest_world)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the matching payload (yield from)."""
+        t0 = self._blocking("recv")
+        msg = yield self._match(source, tag)
+        self._unblock("recv", t0)
+        return msg.payload
+
+    def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Like :meth:`recv` but returns the full :class:`Message` envelope."""
+        t0 = self._blocking("recv")
+        msg = yield self._match(source, tag)
+        self._unblock("recv", t0)
+        return msg
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Non-blocking receive; the returned event carries the Message."""
+        return self._match(source, tag)
+
+    def _match(self, source: int, tag: int) -> Event:
+        def predicate(msg: Message) -> bool:
+            return (msg.comm_id == self.comm_id
+                    and (source == ANY_SOURCE or msg.src == source)
+                    and (tag == ANY_TAG or msg.tag == tag))
+        return self._world.mailbox(self.world_rank).get(predicate)
+
+    def wait(self, event: Event):
+        """Blocking wait on a request event (isend/irecv), with PMPI hooks."""
+        t0 = self._blocking("wait")
+        value = yield event
+        self._unblock("wait", t0)
+        return value
+
+    def waitall(self, events: Iterable[Event]):
+        """Blocking wait on several request events; returns their values."""
+        t0 = self._blocking("waitall")
+        values = yield self._world.engine.all_of(list(events))
+        self._unblock("waitall", t0)
+        return values
+
+    # -- collectives ----------------------------------------------------------
+    def _collective(self, kind: str, contribution: Any,
+                    nbytes: Optional[float] = None):
+        """Join the next collective of this communicator; returns its state.
+
+        MPI semantics: all ranks of the communicator must call collectives in
+        the same order.  Each rank keeps a per-comm sequence number; the pair
+        (comm_id, seq) identifies the operation instance.
+        """
+        world = self._world
+        seq = world.next_collective_seq(self.comm_id, self.world_rank)
+        key = (self.comm_id, seq)
+        coll = world.collectives.get(key)
+        if coll is None:
+            coll = _Collective(world.engine, kind, self.size)
+            world.collectives[key] = coll
+        if coll.kind != kind:
+            raise MPIError(
+                f"collective mismatch on comm {self.comm_id}: rank "
+                f"{self.rank} called {kind!r} but operation #{seq} is "
+                f"{coll.kind!r}")
+        coll.contribs[self.rank] = contribution
+        coll.nbytes_total += _payload_nbytes(contribution, nbytes)
+        t0 = self._blocking(kind)
+        if len(coll.contribs) == coll.n:
+            del world.collectives[key]
+            delay = self._collective_cost(coll)
+            done = coll.done
+
+            def finish():
+                yield world.engine.timeout(delay)
+                done.succeed(dict(coll.contribs))
+
+            world.engine.process(finish(), name=f"{kind}[{self.comm_id}]")
+        contribs = yield coll.done
+        self._unblock(kind, t0)
+        return contribs
+
+    def _collective_cost(self, coll: _Collective) -> float:
+        """Hierarchical tree collective: intra-node reduction trees plus an
+        inter-node exchange tree (the standard 2-level MPI algorithm)."""
+        world = self._world
+        nodes: dict[int, int] = {}
+        for w in self.group:
+            node = world.node_of(w)
+            nodes[node] = nodes.get(node, 0) + 1
+        per_rank = coll.nbytes_total / max(1, coll.n)
+        intra_steps = max(1, math.ceil(math.log2(max(2, max(nodes.values())))))
+        cost = intra_steps * world.cluster.intranode.transfer_seconds(per_rank)
+        if len(nodes) > 1:
+            inter_steps = max(1, math.ceil(math.log2(len(nodes))))
+            cost += inter_steps * world.cluster.interconnect.transfer_seconds(
+                per_rank)
+        return cost
+
+    def barrier(self):
+        """Synchronize all ranks of the communicator."""
+        yield from self._collective("barrier", None, nbytes=1.0)
+
+    def iallreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+                   nbytes: Optional[float] = None) -> Event:
+        """Non-blocking allreduce: returns an event carrying the result.
+
+        The calling rank is *not* blocked (no PMPI hooks fire), so DLB sees
+        no lending opportunity — the trade-off between communication
+        overlap and dynamic balancing.  Complete with ``comm.wait(ev)``
+        (which does fire the hooks for the waiting time).
+        """
+        world = self._world
+        seq = world.next_collective_seq(self.comm_id, self.world_rank)
+        key = (self.comm_id, seq)
+        coll = world.collectives.get(key)
+        if coll is None:
+            coll = _Collective(world.engine, "iallreduce", self.size)
+            world.collectives[key] = coll
+        if coll.kind != "iallreduce":
+            raise MPIError(
+                f"collective mismatch on comm {self.comm_id}: rank "
+                f"{self.rank} called 'iallreduce' but operation #{seq} is "
+                f"{coll.kind!r}")
+        coll.contribs[self.rank] = value
+        coll.nbytes_total += _payload_nbytes(value, nbytes)
+        if len(coll.contribs) == coll.n:
+            del world.collectives[key]
+            delay = self._collective_cost(coll)
+            done = coll.done
+
+            def finish():
+                yield world.engine.timeout(delay)
+                done.succeed(dict(coll.contribs))
+
+            world.engine.process(finish(), name=f"iallreduce[{self.comm_id}]")
+        # derive a per-rank event carrying the reduced value
+        result = world.engine.event()
+
+        def relay(ev: Event) -> None:
+            contribs = ev.value
+            result.succeed(_reduce_values(
+                [contribs[r] for r in range(self.size)], op))
+
+        if coll.done.processed:
+            relay(coll.done)
+        else:
+            coll.done.callbacks.append(relay)
+        return result
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
+                  nbytes: Optional[float] = None):
+        """Reduce ``value`` across ranks; every rank gets the result."""
+        contribs = yield from self._collective("allreduce", value, nbytes)
+        return _reduce_values([contribs[r] for r in range(self.size)], op)
+
+    def reduce(self, value: Any, root: int = 0,
+               op: Callable[[Any, Any], Any] = None,
+               nbytes: Optional[float] = None):
+        """Reduce to ``root``; other ranks get ``None``."""
+        contribs = yield from self._collective("reduce", value, nbytes)
+        if self.rank != root:
+            return None
+        return _reduce_values([contribs[r] for r in range(self.size)], op)
+
+    def bcast(self, value: Any, root: int = 0,
+              nbytes: Optional[float] = None):
+        """Broadcast ``root``'s value to every rank."""
+        contribs = yield from self._collective("bcast", value, nbytes)
+        return contribs[root]
+
+    def gather(self, value: Any, root: int = 0,
+               nbytes: Optional[float] = None):
+        """Gather one value per rank to ``root`` (list ordered by rank)."""
+        contribs = yield from self._collective("gather", value, nbytes)
+        if self.rank != root:
+            return None
+        return [contribs[r] for r in range(self.size)]
+
+    def allgather(self, value: Any, nbytes: Optional[float] = None):
+        """Gather one value per rank to *all* ranks."""
+        contribs = yield from self._collective("allgather", value, nbytes)
+        return [contribs[r] for r in range(self.size)]
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0,
+                nbytes: Optional[float] = None):
+        """Scatter ``root``'s list of size-``size`` values, one per rank."""
+        contribs = yield from self._collective("scatter", values, nbytes)
+        root_values = contribs[root]
+        if root_values is None or len(root_values) != self.size:
+            raise MPIError("scatter root must supply one value per rank")
+        return root_values[self.rank]
+
+    def alltoall(self, values: Sequence[Any],
+                 nbytes: Optional[float] = None):
+        """Each rank supplies one value per peer; receives one from each."""
+        if len(values) != self.size:
+            raise MPIError("alltoall needs exactly one value per rank")
+        contribs = yield from self._collective("alltoall", list(values), nbytes)
+        return [contribs[r][self.rank] for r in range(self.size)]
+
+    # -- convenience --------------------------------------------------------
+    def compute(self, seconds: float):
+        """Pure computation for ``seconds`` (accounted as useful work)."""
+        t0 = self._world.engine.now
+        yield self._world.engine.timeout(seconds)
+        self._world.account_compute(self.world_rank, t0,
+                                    self._world.engine.now)
+
+
+def _reduce_values(values: list[Any], op: Optional[Callable[[Any, Any], Any]]):
+    if op is None:
+        result = values[0]
+        for v in values[1:]:
+            result = result + v
+        return result
+    result = values[0]
+    for v in values[1:]:
+        result = op(result, v)
+    return result
+
+
+class World:
+    """A simulated MPI job: ranks placed on a cluster, with PMPI hooks.
+
+    Parameters
+    ----------
+    engine:
+        The DES engine everything runs on.
+    cluster:
+        Hardware model (placement + message costs).
+    nranks:
+        Number of MPI processes in the job.
+    mapping:
+        ``"block"`` or ``"cyclic"`` process-to-node placement.
+    """
+
+    def __init__(self, engine: Engine, cluster: ClusterModel, nranks: int,
+                 mapping: str = "block"):
+        if nranks < 1:
+            raise MPIError(f"nranks must be >= 1, got {nranks}")
+        self.engine = engine
+        self.cluster = cluster
+        self.nranks = nranks
+        self.mapping = mapping
+        self.hooks = HookList()
+        self.collectives: dict[tuple[int, int], _Collective] = {}
+        self._coll_seq: dict[tuple[int, int], int] = {}
+        self._mailboxes = [Store(engine) for _ in range(nranks)]
+        self._next_comm_id = 1
+        self._node_of = [rank_to_node(r, nranks, cluster.num_nodes, mapping)
+                         for r in range(nranks)]
+        #: accumulated (mpi_seconds, compute_seconds) per world rank
+        self.mpi_seconds = [0.0] * nranks
+        self.compute_seconds = [0.0] * nranks
+        #: optional recorder with record(rank, category, name, t0, t1)
+        self.recorder: Optional[Any] = None
+
+    # -- topology -----------------------------------------------------------
+    def node_of(self, world_rank: int) -> int:
+        """Node index of ``world_rank``."""
+        return self._node_of[world_rank]
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All world ranks placed on ``node``."""
+        return [r for r in range(self.nranks) if self._node_of[r] == node]
+
+    # -- communicators --------------------------------------------------------
+    def comm_world(self, rank: int) -> Comm:
+        """COMM_WORLD as seen from ``rank``."""
+        return Comm(self, comm_id=0, group=range(self.nranks), rank=rank)
+
+    def split(self, groups: Sequence[Sequence[int]]) -> list[list[Comm]]:
+        """Create one sub-communicator per group of world ranks.
+
+        Returns, for each group, the list of per-member :class:`Comm` views.
+        Groups must be disjoint but need not cover all ranks.
+        """
+        seen: set[int] = set()
+        for g in groups:
+            for r in g:
+                if r in seen:
+                    raise MPIError(f"rank {r} appears in two groups")
+                if not 0 <= r < self.nranks:
+                    raise MPIError(f"rank {r} out of range")
+                seen.add(r)
+        result = []
+        for g in groups:
+            cid = self._next_comm_id
+            self._next_comm_id += 1
+            result.append([Comm(self, cid, g, i) for i in range(len(g))])
+        return result
+
+    # -- plumbing used by Comm ------------------------------------------------
+    def mailbox(self, world_rank: int) -> Store:
+        """The destination message queue of ``world_rank``."""
+        return self._mailboxes[world_rank]
+
+    def deliver(self, msg: Message, dest_world_rank: int) -> None:
+        """Put a message into the mailbox of ``dest_world_rank``.
+
+        ``msg.src``/``msg.dest`` stay comm-local (matching happens inside the
+        destination's view of the same communicator); routing uses the world
+        rank resolved by the sender.
+        """
+        self._mailboxes[dest_world_rank].put(msg)
+
+    def account_mpi(self, world_rank: int, call: str, t0: float,
+                    t1: float) -> None:
+        """Accumulate blocking-MPI time and notify the recorder."""
+        self.mpi_seconds[world_rank] += t1 - t0
+        if self.recorder is not None:
+            self.recorder.record(world_rank, "mpi", call, t0, t1)
+
+    def account_compute(self, world_rank: int, t0: float, t1: float) -> None:
+        """Accumulate useful-compute time and notify the recorder."""
+        self.compute_seconds[world_rank] += t1 - t0
+        if self.recorder is not None:
+            self.recorder.record(world_rank, "compute", "compute", t0, t1)
+
+    def next_collective_seq(self, comm_id: int, world_rank: int) -> int:
+        """Per-(comm, rank) collective call counter."""
+        key = (comm_id, world_rank)
+        seq = self._coll_seq.get(key, 0)
+        self._coll_seq[key] = seq + 1
+        return seq
+
+    # -- job control ----------------------------------------------------------
+    def launch(self, program: Callable[..., Any], *args: Any,
+               ranks: Optional[Iterable[int]] = None, **kwargs: Any):
+        """Start ``program(comm, *args, **kwargs)`` on each rank.
+
+        ``program`` is a generator function taking the rank's COMM_WORLD view
+        first.  Returns the list of rank Processes.
+        """
+        procs = []
+        for r in (range(self.nranks) if ranks is None else ranks):
+            comm = self.comm_world(r)
+            procs.append(self.engine.process(program(comm, *args, **kwargs),
+                                             name=f"rank{r}"))
+        return procs
+
+    def run(self, procs, until: Optional[float] = None):
+        """Run the engine; raise if any rank program failed."""
+        self.engine.run(until=until)
+        # Surface real failures before reporting any consequent deadlock.
+        for p in procs:
+            if p.triggered and not p.ok:
+                raise p.value
+        for p in procs:
+            if not p.triggered:
+                raise MPIError(
+                    f"deadlock: process {p.name} never completed "
+                    f"(simulated t={self.engine.now:.6f}s)")
+        return [p.value for p in procs]

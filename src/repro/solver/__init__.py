@@ -1,0 +1,14 @@
+"""Algebraic solvers: CG and deflated CG (continuity), BiCGStab (momentum),
+Jacobi preconditioning."""
+
+from .deflated import coarse_space_from_groups, deflated_cg
+from .krylov import SolveResult, bicgstab, cg, jacobi_preconditioner
+
+__all__ = [
+    "SolveResult",
+    "bicgstab",
+    "cg",
+    "coarse_space_from_groups",
+    "deflated_cg",
+    "jacobi_preconditioner",
+]

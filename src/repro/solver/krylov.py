@@ -1,0 +1,161 @@
+"""Krylov solvers — the paper's "Solver1" (momentum) and "Solver2"
+(continuity) phases.
+
+Implemented from scratch (NumPy only):
+
+* :func:`cg` — preconditioned conjugate gradients, for the SPD continuity
+  (pressure Poisson) system;
+* :func:`bicgstab` — BiCGStab, for the nonsymmetric stabilized momentum
+  system.
+
+Both report per-iteration residual histories and the work counters (matvec
+count, nnz touched) the performance layer converts into simulated time: a
+solver iteration costs ~ ``nnz`` ops and, in the MPI execution, one
+allreduce per dot product — which is where solver phases block and DLB can
+act.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["SolveResult", "cg", "bicgstab", "jacobi_preconditioner"]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of an iterative solve."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residuals: list[float] = field(default_factory=list)
+    matvecs: int = 0
+
+    @property
+    def final_residual(self) -> float:
+        """Relative residual at exit."""
+        return self.residuals[-1] if self.residuals else np.inf
+
+
+def jacobi_preconditioner(A: sparse.spmatrix) -> Callable[[np.ndarray],
+                                                          np.ndarray]:
+    """Diagonal (Jacobi) preconditioner ``z = D^-1 r``."""
+    diag = np.asarray(A.diagonal()).ravel().copy()
+    small = np.abs(diag) < 1e-300
+    diag[small] = 1.0
+    inv = 1.0 / diag
+
+    def apply(r: np.ndarray) -> np.ndarray:
+        return inv * r
+
+    return apply
+
+
+def cg(A: sparse.spmatrix, b: np.ndarray,
+       x0: Optional[np.ndarray] = None,
+       tol: float = 1e-8, maxiter: int = 500,
+       M: Optional[Callable[[np.ndarray], np.ndarray]] = None) -> SolveResult:
+    """Preconditioned conjugate gradients for SPD ``A``."""
+    n = len(b)
+    x = np.zeros(n) if x0 is None else x0.astype(np.float64).copy()
+    r = b - A @ x
+    matvecs = 1
+    norm_b = np.linalg.norm(b)
+    if norm_b == 0.0:
+        return SolveResult(x=np.zeros(n), converged=True, iterations=0,
+                           residuals=[0.0], matvecs=matvecs)
+    z = M(r) if M is not None else r
+    p = z.copy()
+    rz = float(r @ z)
+    residuals = [float(np.linalg.norm(r) / norm_b)]
+    for it in range(1, maxiter + 1):
+        Ap = A @ p
+        matvecs += 1
+        pAp = float(p @ Ap)
+        if pAp <= 0:
+            # loss of positive-definiteness (or breakdown)
+            return SolveResult(x=x, converged=False, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+        alpha = rz / pAp
+        x += alpha * p
+        r -= alpha * Ap
+        res = float(np.linalg.norm(r) / norm_b)
+        residuals.append(res)
+        if res < tol:
+            return SolveResult(x=x, converged=True, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+        z = M(r) if M is not None else r
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    return SolveResult(x=x, converged=False, iterations=maxiter,
+                       residuals=residuals, matvecs=matvecs)
+
+
+def bicgstab(A: sparse.spmatrix, b: np.ndarray,
+             x0: Optional[np.ndarray] = None,
+             tol: float = 1e-8, maxiter: int = 500,
+             M: Optional[Callable[[np.ndarray], np.ndarray]] = None
+             ) -> SolveResult:
+    """BiCGStab for general (nonsymmetric) ``A``."""
+    n = len(b)
+    x = np.zeros(n) if x0 is None else x0.astype(np.float64).copy()
+    r = b - A @ x
+    matvecs = 1
+    norm_b = np.linalg.norm(b)
+    if norm_b == 0.0:
+        return SolveResult(x=np.zeros(n), converged=True, iterations=0,
+                           residuals=[0.0], matvecs=matvecs)
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    residuals = [float(np.linalg.norm(r) / norm_b)]
+    for it in range(1, maxiter + 1):
+        rho_new = float(r_hat @ r)
+        if abs(rho_new) < 1e-300:
+            return SolveResult(x=x, converged=False, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+        beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+        rho = rho_new
+        p = r + beta * (p - omega * v)
+        phat = M(p) if M is not None else p
+        v = A @ phat
+        matvecs += 1
+        denom = float(r_hat @ v)
+        if abs(denom) < 1e-300:
+            return SolveResult(x=x, converged=False, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+        alpha = rho / denom
+        s = r - alpha * v
+        if np.linalg.norm(s) / norm_b < tol:
+            x += alpha * phat
+            residuals.append(float(np.linalg.norm(s) / norm_b))
+            return SolveResult(x=x, converged=True, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+        shat = M(s) if M is not None else s
+        t = A @ shat
+        matvecs += 1
+        tt = float(t @ t)
+        if tt < 1e-300:
+            return SolveResult(x=x, converged=False, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+        omega = float(t @ s) / tt
+        x += alpha * phat + omega * shat
+        r = s - omega * t
+        res = float(np.linalg.norm(r) / norm_b)
+        residuals.append(res)
+        if res < tol:
+            return SolveResult(x=x, converged=True, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+        if abs(omega) < 1e-300:
+            return SolveResult(x=x, converged=False, iterations=it,
+                               residuals=residuals, matvecs=matvecs)
+    return SolveResult(x=x, converged=False, iterations=maxiter,
+                       residuals=residuals, matvecs=matvecs)

@@ -1,0 +1,99 @@
+"""Trace export: CSV and a Paraver-style ``.prv`` record format.
+
+The paper's analysis workflow is Extrae (capture) + Paraver (visualize).
+Our :class:`~repro.trace.phaselog.PhaseLog` plays the Extrae role; this
+module exports its samples so external tools (or spreadsheets) can play
+Paraver's:
+
+* :func:`write_csv` / :func:`read_csv` — one row per (step, phase, rank)
+  sample, lossless round trip;
+* :func:`write_prv` — Paraver state-record syntax
+  (``1:cpu:appl:task:thread:begin:end:state``), one application, one task
+  per MPI rank, times in integer nanoseconds, with a ``.pcf``-style legend
+  of phase-state ids embedded as comments.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, TextIO, Union
+
+from .phaselog import PhaseLog, PhaseSample
+
+__all__ = ["write_csv", "read_csv", "write_prv", "CSV_HEADER"]
+
+CSV_HEADER = "step,phase,rank,t0,t1,busy,instructions"
+
+
+def _open(dest: Union[str, TextIO], mode: str):
+    if isinstance(dest, str):
+        return open(dest, mode), True
+    return dest, False
+
+
+def write_csv(log: PhaseLog, dest: Union[str, TextIO]) -> None:
+    """Write all samples as CSV (header + one row per sample)."""
+    fh, owned = _open(dest, "w")
+    try:
+        fh.write(CSV_HEADER + "\n")
+        for s in log.samples:
+            fh.write(f"{s.step},{s.phase},{s.rank},{float(s.t0)!r},"
+                     f"{float(s.t1)!r},{float(s.busy)!r},"
+                     f"{float(s.instructions)!r}\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_csv(src: Union[str, TextIO], nranks: int) -> PhaseLog:
+    """Read a CSV produced by :func:`write_csv` back into a PhaseLog."""
+    fh, owned = _open(src, "r")
+    try:
+        header = fh.readline().strip()
+        if header != CSV_HEADER:
+            raise ValueError(f"unexpected CSV header: {header!r}")
+        log = PhaseLog(nranks)
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            step, phase, rank, t0, t1, busy, instr = line.split(",")
+            log.add(int(step), phase, int(rank), float(t0), float(t1),
+                    float(busy), float(instr))
+        return log
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_prv(log: PhaseLog, dest: Union[str, TextIO],
+              resolution_ns: float = 1.0) -> dict:
+    """Write Paraver-style state records; returns the phase -> state-id map.
+
+    Record syntax (one per sample)::
+
+        1:<cpu>:1:<task>:1:<begin_ns>:<end_ns>:<state>
+
+    where ``task`` is ``rank + 1`` and ``state`` numbers the phases in
+    first-appearance order starting at 1 (0 is reserved for idle, as in
+    Paraver).  The header carries the total duration and rank count; the
+    state legend is embedded as ``#`` comments (a minimal inline ``.pcf``).
+    """
+    phases = log.phases()
+    state_of = {phase: i + 1 for i, phase in enumerate(phases)}
+    total_ns = int(round(log.total_elapsed() * 1e9 / resolution_ns))
+    fh, owned = _open(dest, "w")
+    try:
+        fh.write(f"#Paraver (repro):{total_ns}_ns:1({log.nranks}):1:"
+                 f"1({log.nranks}:1)\n")
+        for phase, state in state_of.items():
+            fh.write(f"# STATE {state} {phase}\n")
+        for s in sorted(log.samples, key=lambda s: (s.t0, s.rank)):
+            begin = int(round(s.t0 * 1e9 / resolution_ns))
+            end = int(round(s.t1 * 1e9 / resolution_ns))
+            fh.write(f"1:{s.rank + 1}:1:{s.rank + 1}:1:{begin}:{end}:"
+                     f"{state_of[s.phase]}\n")
+    finally:
+        if owned:
+            fh.close()
+    return state_of

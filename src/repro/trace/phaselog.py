@@ -1,0 +1,162 @@
+"""Phase-level execution records and the paper's load-balance metric.
+
+The paper quantifies load imbalance per phase with (Eq. 9):
+
+    L_n = sum_i t_i / (n * max_i t_i)
+
+where ``t_i`` is the *active* (busy) time of process ``i`` in the phase.
+L_n = 1 is perfectly balanced; L_n = 0.02 (the particles phase of Table 1)
+means 98 % of the allocated resources are wasted.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["PhaseSample", "PhaseLog", "load_balance"]
+
+
+def load_balance(busy_times: Sequence[float]) -> float:
+    """The paper's L_n metric over per-process busy times (Eq. 9)."""
+    t = np.asarray(busy_times, dtype=np.float64)
+    if len(t) == 0:
+        return 1.0
+    peak = t.max()
+    if peak <= 0:
+        return 1.0
+    return float(t.sum() / (len(t) * peak))
+
+
+@dataclass(frozen=True)
+class PhaseSample:
+    """One rank's execution of one phase instance (one step)."""
+
+    step: int
+    phase: str
+    rank: int
+    t0: float
+    t1: float
+    busy: float            # seconds of actual task execution
+    instructions: float
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock span of the sample."""
+        return self.t1 - self.t0
+
+
+class PhaseLog:
+    """Accumulates :class:`PhaseSample` records and derives Table-1 metrics."""
+
+    def __init__(self, nranks: int):
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        self.nranks = nranks
+        self.samples: list[PhaseSample] = []
+
+    def add(self, step: int, phase: str, rank: int, t0: float, t1: float,
+            busy: float, instructions: float = 0.0) -> None:
+        """Record one phase execution on one rank."""
+        if t1 < t0:
+            raise ValueError(f"t1 < t0 ({t1} < {t0})")
+        self.samples.append(PhaseSample(step, phase, rank, t0, t1, busy,
+                                        instructions))
+
+    # -- queries -----------------------------------------------------------
+    def phases(self) -> list[str]:
+        """Distinct phase names in first-appearance order."""
+        seen: dict[str, None] = {}
+        for s in self.samples:
+            seen.setdefault(s.phase, None)
+        return list(seen)
+
+    def busy_by_rank(self, phase: str) -> np.ndarray:
+        """Total busy seconds per rank in ``phase`` (all steps)."""
+        out = np.zeros(self.nranks)
+        for s in self.samples:
+            if s.phase == phase:
+                out[s.rank] += s.busy
+        return out
+
+    def load_balance(self, phase: str,
+                     ranks: Optional[Sequence[int]] = None) -> float:
+        """L_n of ``phase`` over the participating ranks.
+
+        ``ranks`` restricts the metric to a subset (e.g. only the ranks that
+        executed the phase in a coupled run); default: ranks with any sample
+        in this phase.
+        """
+        busy = self.busy_by_rank(phase)
+        if ranks is None:
+            participating = sorted({s.rank for s in self.samples
+                                    if s.phase == phase})
+        else:
+            participating = list(ranks)
+        if not participating:
+            return 1.0
+        return load_balance(busy[participating])
+
+    def load_balance_by_step(self, phase: str) -> list[float]:
+        """L_n of ``phase`` per time step — e.g. how the particles-phase
+        imbalance relaxes as the aerosol spreads through the airway."""
+        by_step: dict[int, dict[int, float]] = defaultdict(dict)
+        for s in self.samples:
+            if s.phase == phase:
+                by_step[s.step][s.rank] = \
+                    by_step[s.step].get(s.rank, 0.0) + s.busy
+        return [load_balance(list(by_step[step].values()))
+                for step in sorted(by_step)]
+
+    def elapsed(self, phase: str) -> float:
+        """Wall-clock time attributable to ``phase``: the sum over steps of
+        the span from the first rank entering to the last rank leaving."""
+        by_step: dict[int, list[PhaseSample]] = defaultdict(list)
+        for s in self.samples:
+            if s.phase == phase:
+                by_step[s.step].append(s)
+        total = 0.0
+        for samples in by_step.values():
+            total += (max(s.t1 for s in samples)
+                      - min(s.t0 for s in samples))
+        return total
+
+    def total_elapsed(self) -> float:
+        """Span from the first sample start to the last sample end."""
+        if not self.samples:
+            return 0.0
+        return (max(s.t1 for s in self.samples)
+                - min(s.t0 for s in self.samples))
+
+    def percent_time(self, phase: str) -> float:
+        """Share of total elapsed time spent in ``phase`` (Table 1 col. 2)."""
+        total = self.total_elapsed()
+        if total <= 0:
+            return 0.0
+        return 100.0 * self.elapsed(phase) / total
+
+    def instructions(self, phase: str) -> float:
+        """Total instructions retired in ``phase``."""
+        return sum(s.instructions for s in self.samples if s.phase == phase)
+
+    def ipc(self, phase: str, freq_ghz: float) -> float:
+        """Achieved IPC of the phase (busy-time weighted, as a hardware
+        counter would report)."""
+        busy = sum(s.busy for s in self.samples if s.phase == phase)
+        if busy <= 0:
+            return 0.0
+        return self.instructions(phase) / (busy * freq_ghz * 1e9)
+
+    def summary(self) -> list[dict]:
+        """Table-1-style rows: phase, L_n, %time (first-appearance order)."""
+        return [{"phase": p,
+                 "load_balance": self.load_balance(p),
+                 "percent_time": self.percent_time(p)}
+                for p in self.phases()]
+
+    def step_samples(self, step: int) -> list[PhaseSample]:
+        """All samples of one step (for timeline rendering)."""
+        return [s for s in self.samples if s.step == step]

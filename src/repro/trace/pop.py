@@ -1,0 +1,72 @@
+"""POP efficiency metrics (BSC's Performance Optimisation methodology).
+
+The authors' group popularized a standard hierarchy of multiplicative
+efficiencies for MPI applications (the POP CoE model), computed from the
+same traces Extrae records:
+
+* **load balance**         LB   = avg_i(useful_i) / max_i(useful_i)
+* **communication eff.**   CommE = max_i(useful_i) / runtime
+* **parallel efficiency**  PE   = LB x CommE = avg_i(useful_i) / runtime
+
+``useful_i`` is rank *i*'s time spent in actual computation (busy time);
+everything else (MPI waits, transfer, runtime overhead) erodes CommE.
+DLB attacks the LB factor; multidependences attack the serialization part
+of CommE inside a rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .phaselog import PhaseLog
+
+__all__ = ["POPMetrics", "pop_metrics", "pop_from_phase_log"]
+
+
+@dataclass(frozen=True)
+class POPMetrics:
+    """The three top-level POP efficiencies (each in (0, 1])."""
+
+    load_balance: float
+    communication_efficiency: float
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """LB x CommE (= avg useful / runtime)."""
+        return self.load_balance * self.communication_efficiency
+
+    def format(self) -> str:
+        """Human-readable summary."""
+        return (f"POP efficiencies: LB={self.load_balance:.2f} x "
+                f"CommE={self.communication_efficiency:.2f} = "
+                f"PE={self.parallel_efficiency:.2f}")
+
+
+def pop_metrics(useful_by_rank: Sequence[float], runtime: float
+                ) -> POPMetrics:
+    """Compute the POP efficiencies from per-rank useful times."""
+    useful = np.asarray(useful_by_rank, dtype=np.float64)
+    if len(useful) == 0:
+        raise ValueError("need at least one rank")
+    if runtime <= 0:
+        raise ValueError(f"runtime must be positive, got {runtime}")
+    peak = useful.max()
+    if peak <= 0:
+        return POPMetrics(load_balance=1.0, communication_efficiency=0.0)
+    lb = float(useful.mean() / peak)
+    comme = float(min(1.0, peak / runtime))
+    return POPMetrics(load_balance=lb, communication_efficiency=comme)
+
+
+def pop_from_phase_log(log: PhaseLog, runtime: float,
+                       ranks: Sequence[int] | None = None) -> POPMetrics:
+    """POP efficiencies of a run: useful time = summed phase busy time."""
+    useful = np.zeros(log.nranks)
+    for s in log.samples:
+        useful[s.rank] += s.busy
+    if ranks is not None:
+        useful = useful[list(ranks)]
+    return pop_metrics(useful, runtime)

@@ -1,0 +1,83 @@
+"""Paraver-style timeline rendering (the paper's Fig. 2).
+
+Renders a :class:`~repro.trace.phaselog.PhaseLog` step as an ASCII timeline:
+one row per MPI rank (or rank group), one column per time bucket, each cell
+showing the phase that dominated the bucket.  The original figure shows the
+same thing in colors: assembly (brown), solvers (pink/blue), SGS (purple),
+particles (black), MPI (white).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .phaselog import PhaseLog, PhaseSample
+
+__all__ = ["render_timeline", "timeline_rows", "DEFAULT_GLYPHS"]
+
+#: Default one-character glyph per phase (in Fig. 2's palette order).
+DEFAULT_GLYPHS = {
+    "assembly": "#",
+    "solver1": "+",
+    "solver2": "-",
+    "sgs": "%",
+    "particles": "@",
+    "exchange": ".",
+    "migration": ".",
+}
+
+
+def timeline_rows(log: PhaseLog, step: int) -> list[tuple[int, str, float,
+                                                          float]]:
+    """Flat (rank, phase, t0, t1) rows of one step, sorted by rank then t0.
+
+    This is the machine-readable export (CSV-ready) of the Fig. 2 data.
+    """
+    rows = [(s.rank, s.phase, s.t0, s.t1) for s in log.step_samples(step)]
+    rows.sort(key=lambda r: (r[0], r[2]))
+    return rows
+
+
+def render_timeline(log: PhaseLog, step: int, width: int = 100,
+                    max_ranks: int = 24,
+                    glyphs: Optional[dict] = None) -> str:
+    """ASCII timeline of one step: ranks down, time across.
+
+    Ranks beyond ``max_ranks`` are subsampled evenly (Fig. 2 shows all 96,
+    a terminal cannot).  Idle/MPI time renders as spaces.
+    """
+    glyphs = {**DEFAULT_GLYPHS, **(glyphs or {})}
+    samples = log.step_samples(step)
+    if not samples:
+        return "(no samples for step %d)" % step
+    t_min = min(s.t0 for s in samples)
+    t_max = max(s.t1 for s in samples)
+    span = max(t_max - t_min, 1e-30)
+    ranks = sorted({s.rank for s in samples})
+    if len(ranks) > max_ranks:
+        sel = np.linspace(0, len(ranks) - 1, max_ranks).astype(int)
+        ranks = [ranks[i] for i in sel]
+    by_rank: dict[int, list[PhaseSample]] = {r: [] for r in ranks}
+    for s in samples:
+        if s.rank in by_rank:
+            by_rank[s.rank].append(s)
+    lines = []
+    header = (f"step {step}: t = [{t_min * 1e3:.3f}, {t_max * 1e3:.3f}] ms, "
+              f"{len(ranks)} of {log.nranks} ranks shown")
+    lines.append(header)
+    legend = "  ".join(f"{g}={p}" for p, g in glyphs.items()
+                       if any(s.phase == p for s in samples))
+    lines.append("legend: " + legend + "  (space = MPI/idle)")
+    for r in ranks:
+        row = [" "] * width
+        for s in sorted(by_rank[r], key=lambda s: s.t0):
+            c0 = int((s.t0 - t_min) / span * width)
+            c1 = int(np.ceil((s.t1 - t_min) / span * width))
+            c1 = max(c1, c0 + 1)
+            g = glyphs.get(s.phase, "?")
+            for c in range(c0, min(c1, width)):
+                row[c] = g
+        lines.append(f"rank {r:4d} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Raw interval tracer — the Extrae substitute.
+
+Plugs into the simulated MPI world (``world.recorder = tracer``) and
+receives every blocking-MPI and task-execution interval.  Useful for
+drill-down analysis and for the Fig. 2 timeline at sub-phase resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Interval", "Tracer"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One traced interval on one rank."""
+
+    rank: int
+    category: str   # "mpi" | "task" | "compute" | custom
+    name: str
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        """Interval length in simulated seconds."""
+        return self.t1 - self.t0
+
+
+class Tracer:
+    """Accumulates :class:`Interval` records (the ``recorder`` protocol)."""
+
+    def __init__(self) -> None:
+        self.intervals: list[Interval] = []
+
+    def record(self, rank: int, category: str, name: str, t0: float,
+               t1: float) -> None:
+        """Record one interval (called by the smpi world and the teams)."""
+        self.intervals.append(Interval(rank, category, name, t0, t1))
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def by_rank(self, rank: int) -> list[Interval]:
+        """All intervals of ``rank`` in record order."""
+        return [iv for iv in self.intervals if iv.rank == rank]
+
+    def by_category(self, category: str) -> list[Interval]:
+        """All intervals of one category."""
+        return [iv for iv in self.intervals if iv.category == category]
+
+    def total_time(self, rank: int, category: Optional[str] = None) -> float:
+        """Summed duration on ``rank`` (optionally one category only)."""
+        return sum(iv.duration for iv in self.intervals
+                   if iv.rank == rank
+                   and (category is None or iv.category == category))

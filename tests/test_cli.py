@@ -1,0 +1,54 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_run_subcommand(self, capsys):
+        rc = main(["run", "--generations", "3", "--steps", "2",
+                   "--nranks", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total simulated time" in out
+        assert "assembly" in out
+
+    def test_run_with_dlb_and_coupled(self, capsys):
+        rc = main(["run", "--generations", "3", "--steps", "2",
+                   "--nranks", "8", "--mode", "coupled",
+                   "--fluid-ranks", "5", "--dlb"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "DLB:" in out
+        assert "5+3 +DLB" in out
+
+    def test_table1_subcommand(self, capsys):
+        rc = main(["table1", "--generations", "3", "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "L96" in out and "assembly" in out
+
+    def test_fig2_subcommand(self, capsys):
+        rc = main(["fig2", "--generations", "3", "--steps", "2",
+                   "--width", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "legend" in out and "rank" in out
+
+    def test_mesh_subcommand(self, capsys, tmp_path):
+        vtk = str(tmp_path / "m.vtk")
+        rc = main(["mesh", "--generations", "2", "--vtk", vtk])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "segments" in out
+        with open(vtk) as fh:
+            assert fh.readline().startswith("# vtk")
+
+    def test_strategy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--assembly", "magic"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,93 @@
+"""Unit tests for the deflated CG solver."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.fem import assemble_operator
+from repro.partition import rcb_partition
+from repro.solver import cg, coarse_space_from_groups, deflated_cg, \
+    jacobi_preconditioner
+from tests.test_fem import unit_cube_tets
+
+
+@pytest.fixture(scope="module")
+def poisson_system():
+    cube = unit_cube_tets(6)
+    K = assemble_operator(cube, kappa=1.0).matrix
+    M = assemble_operator(cube, kappa=0.0, mass_coeff=1.0).matrix
+    A = (K + 1e-4 * M).tocsr()
+    rng = np.random.default_rng(0)
+    b = rng.normal(size=cube.nnodes)
+    groups = rcb_partition(cube.coords, 16)
+    return A, b, groups
+
+
+class TestCoarseSpace:
+    def test_indicator_structure(self):
+        W = coarse_space_from_groups(np.array([0, 1, 1, 2, 0]))
+        assert W.shape == (5, 3)
+        dense = W.toarray()
+        np.testing.assert_array_equal(dense.sum(axis=1), 1.0)
+        assert dense[0, 0] == 1 and dense[3, 2] == 1
+
+    def test_explicit_ngroups(self):
+        W = coarse_space_from_groups(np.array([0, 0]), ngroups=4)
+        assert W.shape == (2, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coarse_space_from_groups(np.array([], dtype=int))
+        with pytest.raises(ValueError):
+            coarse_space_from_groups(np.array([-1, 0]))
+
+
+class TestDeflatedCG:
+    def test_solves_to_tolerance(self, poisson_system):
+        A, b, groups = poisson_system
+        res = deflated_cg(A, b, groups, tol=1e-9, maxiter=2000)
+        assert res.converged
+        assert np.linalg.norm(A @ res.x - b) / np.linalg.norm(b) < 1e-8
+
+    def test_fewer_iterations_than_plain_cg(self, poisson_system):
+        """The whole point of deflation: low-frequency components removed."""
+        A, b, groups = poisson_system
+        plain = cg(A, b, tol=1e-8, maxiter=2000)
+        defl = deflated_cg(A, b, groups, tol=1e-8, maxiter=2000)
+        assert defl.converged and plain.converged
+        assert defl.iterations < 0.8 * plain.iterations
+
+    def test_with_jacobi_preconditioner(self, poisson_system):
+        A, b, groups = poisson_system
+        res = deflated_cg(A, b, groups, tol=1e-9, maxiter=2000,
+                          M=jacobi_preconditioner(A))
+        assert res.converged
+        assert np.linalg.norm(A @ res.x - b) / np.linalg.norm(b) < 1e-8
+
+    def test_matches_plain_cg_solution(self, poisson_system):
+        A, b, groups = poisson_system
+        x_plain = cg(A, b, tol=1e-11, maxiter=4000).x
+        x_defl = deflated_cg(A, b, groups, tol=1e-11, maxiter=4000).x
+        np.testing.assert_allclose(x_defl, x_plain, atol=1e-6)
+
+    def test_single_group_equals_rank_one_deflation(self, poisson_system):
+        A, b, _ = poisson_system
+        res = deflated_cg(A, b, np.zeros(len(b), dtype=int), tol=1e-8,
+                          maxiter=2000)
+        assert res.converged
+
+    def test_zero_rhs(self, poisson_system):
+        A, _, groups = poisson_system
+        res = deflated_cg(A, np.zeros(A.shape[0]), groups)
+        assert res.converged and np.allclose(res.x, 0.0)
+
+    def test_more_groups_fewer_iterations(self, poisson_system):
+        """Richer coarse space => faster convergence (monotone trend)."""
+        A, b, _ = poisson_system
+        cube = unit_cube_tets(6)
+        its = []
+        for k in (2, 8, 32):
+            groups = rcb_partition(cube.coords, k)
+            its.append(deflated_cg(A, b, groups, tol=1e-8,
+                                   maxiter=2000).iterations)
+        assert its[2] < its[0]

@@ -1,0 +1,160 @@
+"""Integration tests for DLB (LeWI) over simulated MPI + task teams.
+
+The central scenario is the paper's Fig. 5: an unbalanced hybrid
+MPI+OpenMP application in which the under-loaded rank reaches a blocking
+MPI call and lends its cores to the overloaded rank on the same node.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DLB, Team, build_parallel_for_graph
+from repro.machine import CoreModel, marenostrum4
+from repro.sim import Engine
+from repro.smpi import World
+
+#: 1 GHz, IPC 1 core: 1e9 instructions == 1 second.
+CORE = CoreModel(name="unit", freq_ghz=1.0, base_ipc=1.0, out_of_order=True,
+                 atomic_stall_cycles=0.0, mem_stall_cycles=0.0)
+SEC = 1e9
+
+
+def run_imbalanced(n_tasks_per_rank, threads_per_rank=2, dlb_enabled=True,
+                   num_nodes=1, mapping="block"):
+    """Each rank runs its task count of 1-second tasks, then a barrier."""
+    eng = Engine()
+    cluster = marenostrum4(num_nodes=num_nodes)
+    nranks = len(n_tasks_per_rank)
+    world = World(eng, cluster, nranks, mapping=mapping)
+    dlb = DLB(world, enabled=dlb_enabled)
+    teams = {}
+    for r in range(nranks):
+        teams[r] = Team(eng, CORE, threads_per_rank, rank=r)
+        dlb.attach_team(r, teams[r])
+
+    finish_times = {}
+
+    def program(comm):
+        n = n_tasks_per_rank[comm.rank]
+        graph = build_parallel_for_graph(
+            np.full(n, SEC), threads_per_rank, min_chunks=n)
+        yield from teams[comm.rank].run(graph)
+        yield from comm.barrier()
+        finish_times[comm.rank] = comm.engine.now
+
+    world.run(world.launch(program))
+    return eng.now, dlb, finish_times
+
+
+class TestFig5Scenario:
+    """2 ranks x 2 threads, rank 1 has 4x the work of rank 0."""
+
+    def test_without_dlb_limited_by_slow_rank(self):
+        t, dlb, _ = run_imbalanced([2, 8], dlb_enabled=False)
+        assert t == pytest.approx(4.0, abs=0.01)
+        assert dlb.stats.lend_events == 0
+
+    def test_with_dlb_lends_and_speeds_up(self):
+        t, dlb, _ = run_imbalanced([2, 8], dlb_enabled=True)
+        # rank 0 blocks at t=1, lends 2 cores; rank 1 finishes 6 remaining
+        # tasks on 4 cores: done at t=3 (vs 4 without DLB).
+        assert t == pytest.approx(3.0, abs=0.01)
+        assert dlb.stats.lend_events >= 1
+        assert dlb.stats.cores_borrowed_total >= 2
+
+    def test_dlb_never_slower(self):
+        for tasks in ([4, 4], [1, 8], [8, 1], [3, 5]):
+            t_off, _, _ = run_imbalanced(list(tasks), dlb_enabled=False)
+            t_on, _, _ = run_imbalanced(list(tasks), dlb_enabled=True)
+            assert t_on <= t_off + 1e-9
+
+    def test_balanced_load_unaffected(self):
+        t_off, _, _ = run_imbalanced([4, 4], dlb_enabled=False)
+        t_on, _, _ = run_imbalanced([4, 4], dlb_enabled=True)
+        assert t_on == pytest.approx(t_off)
+
+
+class TestLendReclaim:
+    def test_capacity_restored_after_mpi(self):
+        eng = Engine()
+        world = World(eng, marenostrum4(num_nodes=1), 2)
+        dlb = DLB(world)
+        teams = {r: Team(eng, CORE, 2, rank=r) for r in range(2)}
+        for r, tm in teams.items():
+            dlb.attach_team(r, tm)
+        capacities = {}
+
+        def program(comm):
+            g = build_parallel_for_graph(
+                np.full(2 if comm.rank == 0 else 6, SEC), 2,
+                chunks_per_thread=1)
+            yield from teams[comm.rank].run(g)
+            yield from comm.barrier()
+            capacities[comm.rank] = teams[comm.rank].capacity
+            # run again after the barrier: both teams must work normally
+            g2 = build_parallel_for_graph(np.full(2, SEC), 2,
+                                          chunks_per_thread=1)
+            yield from teams[comm.rank].run(g2)
+
+        world.run(world.launch(program))
+        assert capacities == {0: 2, 1: 2}
+        assert dlb.borrowed_by(0) == 0 and dlb.borrowed_by(1) == 0
+        assert dlb.pool_size(0) == 0
+
+    def test_borrowed_cores_returned_on_idle(self):
+        """When the borrower finishes, pooled cores are freed again."""
+        t, dlb, _ = run_imbalanced([2, 8, 2], dlb_enabled=True)
+        assert dlb.pool_size(0) >= 0  # accounting consistent
+        assert dlb.borrowed_by(1) == 0
+
+    def test_three_way_redistribution(self):
+        """Two idle ranks feed the single loaded one."""
+        t_on, dlb, _ = run_imbalanced([1, 1, 12], dlb_enabled=True)
+        t_off, _, _ = run_imbalanced([1, 1, 12], dlb_enabled=False)
+        # loaded rank eventually runs with up to 6 cores
+        assert dlb.stats.max_team_capacity >= 4
+        assert t_on < t_off
+
+    def test_stats_counters_consistent(self):
+        _, dlb, _ = run_imbalanced([2, 8], dlb_enabled=True)
+        s = dlb.stats
+        assert s.lend_events >= 1
+        assert s.reclaim_events >= 1
+        assert s.cores_lent_total >= s.cores_borrowed_total >= 0
+
+
+class TestNodeLocality:
+    def test_no_lending_across_nodes(self):
+        """Ranks on different nodes cannot share cores (DLB is
+        shared-memory only)."""
+        # 2 ranks over 2 nodes, block mapping: one rank per node.
+        t_on, dlb, _ = run_imbalanced([2, 8], dlb_enabled=True, num_nodes=2)
+        t_off, _, _ = run_imbalanced([2, 8], dlb_enabled=False, num_nodes=2)
+        assert dlb.stats.cores_borrowed_total == 0
+        assert t_on == pytest.approx(t_off)
+
+    def test_cyclic_mapping_enables_lending_within_node(self):
+        # 4 ranks, 2 nodes, cyclic: ranks 0,2 on node 0 and 1,3 on node 1.
+        # make ranks 0,1 idle-ish and 2,3 loaded: each node pairs one idle
+        # with one loaded rank -> lending possible on both nodes.
+        t_on, dlb, _ = run_imbalanced([1, 1, 8, 8], dlb_enabled=True,
+                                      num_nodes=2, mapping="cyclic")
+        t_off, _, _ = run_imbalanced([1, 1, 8, 8], dlb_enabled=False,
+                                     num_nodes=2, mapping="cyclic")
+        assert dlb.stats.cores_borrowed_total > 0
+        assert t_on < t_off
+
+
+class TestManyRanks:
+    def test_single_hot_rank_among_many(self):
+        """The particle-phase pattern: one rank holds nearly all work."""
+        tasks = [1] * 7 + [24]
+        t_off, _, _ = run_imbalanced(tasks, threads_per_rank=1,
+                                     dlb_enabled=False)
+        t_on, dlb, _ = run_imbalanced(tasks, threads_per_rank=1,
+                                      dlb_enabled=True)
+        # without DLB: 24 s of serial work; with DLB the hot rank borrows
+        # up to 7 extra cores.
+        assert t_off == pytest.approx(24.0, abs=0.1)
+        assert t_on < 0.5 * t_off
+        assert dlb.stats.max_team_capacity >= 4

@@ -1,0 +1,143 @@
+"""Tests for the experiment runners (fast, scaled-down variants).
+
+The full-size experiments are exercised (and shape-checked) by the
+benchmark harness; these tests cover the runner mechanics, formatting and
+result objects on a small workload.
+"""
+
+import pytest
+
+from repro.app import WorkloadSpec
+from repro.core import Strategy
+from repro.experiments import (
+    PAPER_IPC,
+    PAPER_TABLE1,
+    format_table,
+    large_load_spec,
+    reference_spec,
+    run_dlb_figure,
+    run_fig2,
+    run_table1,
+    small_load_spec,
+)
+from repro.experiments.dlb_figures import COUPLED_SPLITS
+
+TINY = WorkloadSpec(generations=3, points_per_ring=6, n_steps=2)
+
+
+class TestSpecs:
+    def test_reference_spec_defaults(self):
+        spec = reference_spec()
+        assert spec.generations == 5
+        assert spec.n_steps == 10
+
+    def test_load_specs_keep_ratio_ordering(self):
+        small = small_load_spec()
+        large = large_load_spec()
+        assert large.particle_ratio / small.particle_ratio == pytest.approx(
+            7e6 / 4e5)
+
+    def test_spec_overrides(self):
+        spec = small_load_spec(generations=2, n_steps=1)
+        assert spec.generations == 2 and spec.n_steps == 1
+
+    def test_paper_scale_spec(self):
+        from repro.experiments import paper_scale_spec
+        spec = paper_scale_spec()
+        assert spec.generations == 7
+        assert paper_scale_spec(generations=6).generations == 6
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["a", "bb"], [("1", "2"), ("333", "4")],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_handles_non_strings(self):
+        out = format_table(["x"], [(1.5,), (None,)])
+        assert "1.5" in out and "None" in out
+
+
+class TestTable1Runner:
+    def test_small_run_structure(self):
+        result = run_table1(spec=TINY, nranks=8)
+        phases = {r["phase"] for r in result.rows}
+        assert phases >= set(PAPER_TABLE1)
+        assert result.total_time > 0
+        text = result.format()
+        assert "L96" in text and "assembly" in text
+
+    def test_percentages_bounded(self):
+        result = run_table1(spec=TINY, nranks=8)
+        for row in result.rows:
+            assert 0.0 <= row["percent_time"] <= 100.0
+            assert 0.0 < row["load_balance"] <= 1.0
+
+
+class TestFig2Runner:
+    def test_rows_and_render(self):
+        result = run_fig2(spec=TINY, nranks=8, step=1)
+        rows = result.rows()
+        assert {r for r, *_ in rows} == set(range(8))
+        art = result.render(width=60, max_ranks=8)
+        assert "step 1" in art
+        assert "#" in art  # assembly glyph present
+
+    def test_step_out_of_range_renders_empty(self):
+        result = run_fig2(spec=TINY, nranks=4, step=7)
+        assert "no samples" in result.render()
+
+
+class TestDLBFigureRunner:
+    def test_result_object(self):
+        # small custom sweep by monkeypatching splits would be intrusive;
+        # use the real runner on the tiny spec with thunder (fast enough
+        # per config at tiny mesh size).
+        result = run_dlb_figure("marenostrum4", TINY, load_tag="tiny")
+        labels = [label for label, *_ in result.rows]
+        assert labels[0] == "sync 96"
+        assert len(labels) == 1 + len(COUPLED_SPLITS["marenostrum4"])
+        assert result.best_original() <= result.worst_original()
+        assert len(result.dlb_gains()) == len(labels)
+        assert result.dlb_spread() >= 1.0
+        text = result.format()
+        assert "original (ms)" in text and "tiny" in text
+
+
+class TestTable1Residual:
+    def test_residual_complements_phases(self):
+        result = run_table1(spec=TINY, nranks=8)
+        assert 0.0 <= result.residual_percent < 60.0
+        total = sum(r["percent_time"] for r in result.rows) \
+            + result.residual_percent
+        assert total == pytest.approx(100.0)
+        assert "(mpi/other)" in result.format()
+
+
+class TestFig67Runner:
+    def test_custom_totals_sweep(self):
+        from repro.core import Strategy
+        from repro.experiments import run_fig6
+
+        result = run_fig6(spec=TINY, totals={"thunder": 8})
+        assert set(result.speedups) == {"thunder"}
+        for strategy in ("atomics", "coloring", "multidep"):
+            for threads in (1, 2, 4):
+                s = result.speedup("thunder", Strategy(strategy), threads)
+                assert 0.1 < s < 10.0
+        text = result.format()
+        assert "8x1" in text and "2x4" in text
+
+
+class TestPaperConstants:
+    def test_table1_reference_values(self):
+        assert PAPER_TABLE1["assembly"] == (0.66, 40.84)
+        assert PAPER_TABLE1["particles"][0] == 0.02
+
+    def test_ipc_reference_values(self):
+        assert PAPER_IPC[("marenostrum4", "mpionly")] == 2.25
+        assert PAPER_IPC[("thunder", "atomics")] == 0.42

@@ -1,0 +1,88 @@
+"""Property-based tests for the FEM assembly (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fem import assemble_operator
+from repro.mesh import MeshResolution, Segment, build_tube_mesh
+from tests.test_fem import unit_cube_tets
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return unit_cube_tets(2)
+
+
+@pytest.fixture(scope="module")
+def tube():
+    seg = Segment(sid=0, parent=-1, generation=0, start=np.zeros(3),
+                  direction=np.array([0.0, 0.0, -1.0]), length=0.03,
+                  radius=0.01)
+    return build_tube_mesh(seg, MeshResolution(points_per_ring=6))
+
+
+class TestAssemblyProperties:
+    @given(st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity_in_kappa(self, kappa):
+        cube = unit_cube_tets(2)
+        K1 = assemble_operator(cube, kappa=1.0).matrix
+        Kk = assemble_operator(cube, kappa=kappa).matrix
+        assert abs(Kk - kappa * K1).max() < 1e-9 * max(1.0, kappa)
+
+    @given(st.floats(min_value=1e-3, max_value=1e3),
+           st.floats(min_value=1e-3, max_value=1e3))
+    @settings(max_examples=15, deadline=None)
+    def test_superposition_of_mass_and_stiffness(self, kappa, mc):
+        cube = unit_cube_tets(2)
+        K = assemble_operator(cube, kappa=1.0).matrix
+        M = assemble_operator(cube, kappa=0.0, mass_coeff=1.0).matrix
+        both = assemble_operator(cube, kappa=kappa, mass_coeff=mc).matrix
+        assert abs(both - (kappa * K + mc * M)).max() < 1e-9 * max(
+            1.0, kappa, mc)
+
+    @given(st.integers(min_value=0, max_value=2 ** 30))
+    @settings(max_examples=10, deadline=None)
+    def test_random_split_additivity(self, seed):
+        """Assembling any two complementary element subsets sums to the
+        full matrix — the property that makes per-rank local assembly
+        (and all three race-management strategies) correct."""
+        tube = build_tube_mesh(
+            Segment(sid=0, parent=-1, generation=0, start=np.zeros(3),
+                    direction=np.array([0.0, 0.0, -1.0]), length=0.03,
+                    radius=0.01),
+            MeshResolution(points_per_ring=6))
+        rng = np.random.default_rng(seed)
+        mask = rng.uniform(size=tube.nelem) < 0.5
+        full = assemble_operator(tube, kappa=1.0).matrix
+        a = assemble_operator(tube, kappa=1.0,
+                              element_ids=np.nonzero(mask)[0]).matrix
+        b = assemble_operator(tube, kappa=1.0,
+                              element_ids=np.nonzero(~mask)[0]).matrix
+        assert abs((a + b) - full).max() < 1e-12
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=10, deadline=None)
+    def test_mass_scales_with_volume(self, scale):
+        cube = unit_cube_tets(2)
+        scaled_coords = cube.coords * scale
+        from repro.mesh import Mesh
+        scaled = Mesh(scaled_coords, cube.elem_types, cube.elem_nodes)
+        M = assemble_operator(scaled, kappa=0.0, mass_coeff=1.0).matrix
+        ones = np.ones(scaled.nnodes)
+        assert ones @ (M @ ones) == pytest.approx(scale ** 3, rel=1e-9)
+
+    def test_stiffness_positive_semidefinite(self, tube):
+        K = assemble_operator(tube, kappa=1.0).matrix
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            v = rng.normal(size=tube.nnodes)
+            assert v @ (K @ v) > -1e-9
+
+    def test_mass_positive_definite(self, tube):
+        M = assemble_operator(tube, kappa=0.0, mass_coeff=1.0).matrix
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            v = rng.normal(size=tube.nnodes)
+            assert v @ (M @ v) > 0.0

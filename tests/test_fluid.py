@@ -1,0 +1,208 @@
+"""Tests for the vector FEM operators and the fractional-step NS solver."""
+
+import numpy as np
+import pytest
+
+from repro.fem import assemble_operator
+from repro.fem.dirichlet import apply_dirichlet, apply_dirichlet_symmetric
+from repro.fem.fractional_step import FlowBC, FractionalStepSolver
+from repro.fem.vector import (
+    deinterleave,
+    divergence_operator,
+    gradient_operator,
+    interleave,
+    vector_operator,
+)
+from repro.mesh import MeshResolution, Segment, build_tube_mesh
+from tests.test_fem import unit_cube_tets
+
+
+@pytest.fixture(scope="module")
+def cube():
+    return unit_cube_tets(2)
+
+
+class TestInterleave:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=(7, 3))
+        np.testing.assert_array_equal(deinterleave(interleave(field)), field)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(7))
+
+
+class TestVectorOperator:
+    def test_block_diagonal_matches_scalar(self, cube):
+        scalar = assemble_operator(cube, kappa=1.0).matrix
+        vec = vector_operator(cube, kappa=1.0)
+        assert vec.shape == (3 * cube.nnodes, 3 * cube.nnodes)
+        # applying to a single-component field reproduces the scalar op
+        rng = np.random.default_rng(1)
+        f = rng.normal(size=cube.nnodes)
+        field = np.zeros((cube.nnodes, 3))
+        field[:, 1] = f
+        out = deinterleave(vec @ interleave(field))
+        np.testing.assert_allclose(out[:, 1], scalar @ f, atol=1e-12)
+        np.testing.assert_allclose(out[:, 0], 0.0, atol=1e-12)
+
+    def test_no_cross_component_coupling(self, cube):
+        vec = vector_operator(cube, kappa=1.0, mass_coeff=2.0).tocoo()
+        assert ((vec.row % 3) == (vec.col % 3)).all()
+
+
+class TestDivergenceGradient:
+    def test_divergence_of_constant_field_weakly_zero(self, cube):
+        """For u = const, integral N_i div(u) = 0 on interior nodes."""
+        D = divergence_operator(cube)
+        u = np.tile([1.0, 2.0, -0.5], (cube.nnodes, 1))
+        div = D @ interleave(u)
+        # interior node of the 2^3 cube grid: index of (0.5, 0.5, 0.5)
+        interior = np.nonzero(
+            np.all(np.isclose(cube.coords, 0.5), axis=1))[0]
+        np.testing.assert_allclose(div[interior], 0.0, atol=1e-12)
+
+    def test_divergence_of_linear_field(self, cube):
+        """u = (x, 0, 0): integral N_i div u = integral N_i -> lumped mass."""
+        D = divergence_operator(cube)
+        u = np.zeros((cube.nnodes, 3))
+        u[:, 0] = cube.coords[:, 0]
+        div = D @ interleave(u)
+        M = assemble_operator(cube, kappa=0.0, mass_coeff=1.0).matrix
+        np.testing.assert_allclose(div, np.asarray(M.sum(axis=1)).ravel(),
+                                   atol=1e-12)
+
+    def test_gradient_is_divergence_transpose(self, cube):
+        D = divergence_operator(cube)
+        G = gradient_operator(cube)
+        assert abs(G - D.T).max() < 1e-14
+
+
+class TestDirichlet:
+    def test_row_replacement(self, cube):
+        A = assemble_operator(cube, kappa=1.0, mass_coeff=1.0).matrix
+        b = np.ones(cube.nnodes)
+        A2, b2 = apply_dirichlet(A, b, np.array([0, 5]),
+                                 np.array([7.0, -1.0]))
+        x = np.linalg.solve(A2.toarray(), b2)
+        assert x[0] == pytest.approx(7.0)
+        assert x[5] == pytest.approx(-1.0)
+
+    def test_symmetric_elimination_keeps_symmetry(self, cube):
+        A = assemble_operator(cube, kappa=1.0, mass_coeff=1.0).matrix
+        b = np.ones(cube.nnodes)
+        A2, b2 = apply_dirichlet_symmetric(A, b, np.array([3]),
+                                           np.array([2.0]))
+        assert abs(A2 - A2.T).max() < 1e-12
+        x = np.linalg.solve(A2.toarray(), b2)
+        assert x[3] == pytest.approx(2.0)
+
+    def test_symmetric_matches_row_replacement_solution(self, cube):
+        A = assemble_operator(cube, kappa=1.0, mass_coeff=1.0).matrix
+        rng = np.random.default_rng(2)
+        b = rng.normal(size=cube.nnodes)
+        dofs = np.array([0, 7, 11])
+        vals = np.array([1.0, -2.0, 0.5])
+        A1, b1 = apply_dirichlet(A, b, dofs, vals)
+        A2, b2 = apply_dirichlet_symmetric(A, b, dofs, vals)
+        x1 = np.linalg.solve(A1.toarray(), b1)
+        x2 = np.linalg.solve(A2.toarray(), b2)
+        np.testing.assert_allclose(x1, x2, atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# fractional-step solver on a straight tube
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tube_flow():
+    seg = Segment(sid=0, parent=-1, generation=0, start=np.zeros(3),
+                  direction=np.array([0.0, 0.0, -1.0]), length=0.04,
+                  radius=0.01)
+    mesh = build_tube_mesh(seg, MeshResolution(points_per_ring=8,
+                                               max_sections=6))
+    z = mesh.coords[:, 2]
+    r = np.linalg.norm(mesh.coords[:, :2], axis=1)
+    inlet = np.nonzero(np.isclose(z, 0.0) & (r < 0.0099))[0]
+    inlet_all = np.nonzero(np.isclose(z, 0.0))[0]
+    outlet = np.nonzero(np.isclose(z, -0.04))[0]
+    wall = np.nonzero(np.isclose(r, 0.01))[0]  # incl. inlet rim
+    u_in = np.zeros((len(inlet), 3))
+    u_in[:, 2] = -1.0 * (1.0 - (r[inlet] / 0.01) ** 2)
+    bc = FlowBC(inlet_nodes=inlet, inlet_velocity=u_in, wall_nodes=wall,
+                outlet_nodes=outlet)
+    solver = FractionalStepSolver(mesh, bc, viscosity=1e-3, density=1.0,
+                                  dt=2e-3)
+    infos = solver.run(80)
+    return mesh, solver, infos, dict(inlet=inlet, outlet=outlet, wall=wall,
+                                     z=z, r=r)
+
+
+class TestFractionalStep:
+    def test_divergence_stays_bounded(self, tube_flow):
+        _, _, infos, _ = tube_flow
+        divs = [i.div_after for i in infos]
+        assert divs[-1] < 1e-4
+        assert max(divs) < 1e-3
+
+    def test_projection_never_increases_divergence(self, tube_flow):
+        """Projection strictly reduces the transient divergence; at steady
+        state it sits at the BC-reimposition floor (no material change)."""
+        _, _, infos, _ = tube_flow
+        assert all(i.div_after <= i.div_before * 1.01 for i in infos)
+        assert infos[0].div_after < infos[0].div_before
+
+    def test_flow_moves_downstream(self, tube_flow):
+        mesh, solver, _, sets = tube_flow
+        interior = (sets["z"] < -0.005) & (sets["z"] > -0.035) \
+            & (sets["r"] < 0.008)
+        assert solver.u[interior][:, 2].mean() < -0.1
+
+    def test_velocity_bounded_by_inlet_scale(self, tube_flow):
+        _, solver, _, _ = tube_flow
+        assert np.abs(solver.u).max() < 2.0  # inlet peak is 1.0
+
+    def test_no_slip_wall(self, tube_flow):
+        _, solver, _, sets = tube_flow
+        np.testing.assert_allclose(solver.u[sets["wall"]], 0.0, atol=1e-12)
+
+    def test_mass_balance_on_matched_sections(self, tube_flow):
+        """At quasi-steady state the mean axial velocity over the interior
+        outlet nodes approaches the inlet's."""
+        _, solver, _, sets = tube_flow
+        normal = np.array([0.0, 0.0, -1.0])
+        out_interior = np.nonzero(np.isclose(sets["z"], -0.04)
+                                  & (sets["r"] < 0.0099))[0]
+        q_in = solver.flow_rate_through(sets["inlet"], normal)
+        q_out = solver.flow_rate_through(out_interior, normal)
+        assert q_out > 0.4 * q_in
+
+    def test_profile_faster_at_center(self, tube_flow):
+        _, solver, _, sets = tube_flow
+        mid = np.isclose(sets["z"], -0.04 * 2 / 3, atol=0.005)
+        center = mid & (sets["r"] < 0.005)
+        near_wall = mid & (sets["r"] > 0.006) & (sets["r"] < 0.0099)
+        assert center.sum() and near_wall.sum()
+        uc = -solver.u[center][:, 2].mean()
+        uw = -solver.u[near_wall][:, 2].mean()
+        assert uc > uw
+
+    def test_solver_iterations_recorded(self, tube_flow):
+        _, _, infos, _ = tube_flow
+        assert all(i.momentum_iterations >= 1 for i in infos)
+        assert all(i.pressure_iterations >= 1 for i in infos)
+
+    def test_bc_validation(self, tube_flow):
+        mesh, _, _, sets = tube_flow
+        with pytest.raises(ValueError):
+            FlowBC(inlet_nodes=sets["inlet"],
+                   inlet_velocity=np.zeros((2, 3)),
+                   wall_nodes=sets["wall"], outlet_nodes=sets["outlet"])
+        with pytest.raises(ValueError):
+            FlowBC(inlet_nodes=sets["inlet"],
+                   inlet_velocity=np.zeros((len(sets["inlet"]), 3)),
+                   wall_nodes=sets["wall"],
+                   outlet_nodes=np.zeros(0, dtype=int))

@@ -1,0 +1,121 @@
+"""Tests for mesh quality metrics and deposition-physics validation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import (
+    AirwayConfig,
+    ElementType,
+    Mesh,
+    MeshResolution,
+    build_airway_mesh,
+    edge_aspect_ratios,
+    quality_report,
+    tet_regularity,
+)
+from repro.particles import deposition_curve, impaction_parameter
+from repro.particles.validation import DepositionPoint
+
+
+def regular_tet_mesh(scale=1.0):
+    """A single regular tetrahedron (all edges equal)."""
+    coords = np.array([[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]],
+                      dtype=float) * scale
+    conn = np.array([[0, 1, 2, 3, -1, -1]], dtype=np.int32)
+    return Mesh(coords, np.array([ElementType.TET], dtype=np.int8), conn)
+
+
+def sliver_tet_mesh():
+    """A nearly flat (degenerate) tetrahedron."""
+    coords = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0.5, 0.5, 1e-4]])
+    conn = np.array([[0, 1, 2, 3, -1, -1]], dtype=np.int32)
+    return Mesh(coords, np.array([ElementType.TET], dtype=np.int8), conn)
+
+
+class TestQualityMetrics:
+    def test_regular_tet_regularity_is_one(self):
+        reg = tet_regularity(regular_tet_mesh())
+        assert reg[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_regularity_scale_invariant(self):
+        a = tet_regularity(regular_tet_mesh(1.0))[0]
+        b = tet_regularity(regular_tet_mesh(7.3))[0]
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_sliver_has_low_regularity(self):
+        reg = tet_regularity(sliver_tet_mesh())
+        assert reg[0] < 0.01
+
+    def test_regular_tet_aspect_is_one(self):
+        aspects = edge_aspect_ratios(regular_tet_mesh())
+        assert aspects[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_non_tet_regularity_is_nan(self):
+        airway = build_airway_mesh(AirwayConfig(generations=1),
+                                   MeshResolution(points_per_ring=6))
+        reg = tet_regularity(airway.mesh)
+        prisms = airway.mesh.elem_types == ElementType.PRISM
+        assert np.isnan(reg[prisms]).all()
+        tets = airway.mesh.elem_types == ElementType.TET
+        assert not np.isnan(reg[tets]).any()
+
+    def test_airway_mesh_passes_quality_gate(self):
+        """The generated airway mesh must be usable: no inverted elements,
+        bounded aspect ratios, no extreme slivers."""
+        airway = build_airway_mesh(AirwayConfig(generations=3),
+                                   MeshResolution(points_per_ring=6))
+        report = quality_report(airway.mesh)
+        assert report.ok
+        assert report.inverted == 0
+        assert report.min_volume > 0
+        assert report.max_aspect < 30.0
+        assert report.min_tet_regularity > 0.01
+        assert "elements" in report.format()
+
+    def test_report_totals(self):
+        mesh = regular_tet_mesh()
+        report = quality_report(mesh)
+        assert report.n_elements == 1
+        assert report.total_volume == pytest.approx(mesh.volumes().sum())
+
+
+class TestDepositionValidation:
+    @pytest.fixture(scope="class")
+    def airway(self):
+        return build_airway_mesh(AirwayConfig(generations=4),
+                                 MeshResolution(points_per_ring=6))
+
+    def test_impaction_parameter_definition(self):
+        assert impaction_parameter(2e-6, 1e-3, 1000.0) == pytest.approx(
+            1000.0 * 4e-12 * 1e-3)
+
+    @pytest.fixture(scope="class")
+    def curve(self, airway):
+        return deposition_curve(airway, diameters_um=(1.0, 5.0, 20.0),
+                                n_particles=250, n_steps=500, seed=3)
+
+    def test_curve_structure(self, curve):
+        assert len(curve) == 3
+        assert all(isinstance(p, DepositionPoint) for p in curve)
+        assert all(0.0 <= p.deposited_fraction <= 1.0 for p in curve)
+        # impaction parameter grows with diameter at fixed Q
+        imps = [p.impaction for p in curve]
+        assert imps == sorted(imps)
+
+    def test_deposition_grows_with_impaction(self, curve):
+        """The classic validation: efficiency increases with rho d^2 Q
+        (monotone within a small tolerance for sampling noise)."""
+        fr = [p.deposited_fraction for p in curve]
+        assert fr[-1] >= fr[0]
+        assert all(b >= a - 0.08 for a, b in zip(fr, fr[1:]))
+
+    def test_flow_rate_dependence(self, airway):
+        """Higher inhalation rate => more impaction at equal size."""
+        slow = deposition_curve(airway, diameters_um=(10.0,),
+                                flow_rate=0.5e-3, n_particles=250,
+                                n_steps=500, seed=4)[0]
+        fast = deposition_curve(airway, diameters_um=(10.0,),
+                                flow_rate=2.0e-3, n_particles=250,
+                                n_steps=500, seed=4)[0]
+        assert fast.impaction > slow.impaction
+        assert fast.deposited_fraction >= slow.deposited_fraction - 0.08

@@ -1,0 +1,49 @@
+"""Tests for the one-shot report generator and RunResult.step_times."""
+
+import os
+
+import pytest
+
+from repro.app import RunConfig, WorkloadSpec, get_workload, run_cfpd
+from repro.experiments import ARTIFACTS, generate_all
+
+TINY = WorkloadSpec(generations=3, points_per_ring=6, n_steps=2)
+
+
+class TestGenerateAll:
+    def test_subset_generation(self, tmp_path):
+        paths = generate_all(str(tmp_path), spec=TINY,
+                             only=["table1", "fig2_timeline"],
+                             progress=None)
+        assert set(paths) == {"table1", "fig2_timeline"}
+        for path in paths.values():
+            assert os.path.exists(path)
+            assert os.path.getsize(path) > 0
+
+    def test_unknown_artifact_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            generate_all(str(tmp_path), only=["fig99"])
+
+    def test_progress_callback(self, tmp_path):
+        lines = []
+        generate_all(str(tmp_path), spec=TINY, only=["table1"],
+                     progress=lines.append)
+        assert len(lines) == 1 and "table1" in lines[0]
+
+    def test_artifact_registry_complete(self):
+        expected = {"table1", "fig2_timeline", "fig6_assembly", "fig7_sgs",
+                    "fig8_dlb_mn4_small", "fig9_dlb_thunder_small",
+                    "fig10_dlb_mn4_large", "fig11_dlb_thunder_large",
+                    "ipc_counters"}
+        assert set(ARTIFACTS) == expected
+
+
+class TestStepTimes:
+    def test_one_duration_per_step(self):
+        wl = get_workload(TINY)
+        res = run_cfpd(RunConfig(cluster="thunder", num_nodes=1, nranks=8),
+                       workload=wl)
+        times = res.step_times()
+        assert len(times) == TINY.n_steps
+        assert all(t > 0 for t in times)
+        assert sum(times) <= res.total_time * 1.001
