@@ -38,6 +38,16 @@ from .app import (
     run_cfpd,
 )
 from .core import DLB, Strategy, StrategyParams, TaskGraph, Team
+from .fault import (
+    Checkpoint,
+    CheckpointError,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    load_checkpoint,
+    resilience_report,
+    save_checkpoint,
+)
 from .fem import FlowBC, FractionalStepSolver
 from .machine import ClusterModel, energy_estimate, get_cluster, marenostrum4, thunder
 from .mesh import (
@@ -58,9 +68,14 @@ __all__ = [
     "AirwayConfig",
     "AirwayFlow",
     "AirwayMesh",
+    "Checkpoint",
+    "CheckpointError",
     "ClusterModel",
     "CostModel",
     "DLB",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FlowBC",
     "FractionalStepSolver",
     "MeshResolution",
@@ -86,10 +101,13 @@ __all__ = [
     "get_workload",
     "inject_at_inlet",
     "load_balance",
+    "load_checkpoint",
     "marenostrum4",
     "pop_metrics",
     "render_timeline",
+    "resilience_report",
     "run_cfpd",
+    "save_checkpoint",
     "thunder",
     "write_vtk",
 ]

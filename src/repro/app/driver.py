@@ -33,7 +33,7 @@ from ..core import (
     build_parallel_for_graph,
 )
 from ..machine import get_cluster
-from ..smpi import World
+from ..smpi import RankDeadError, World
 from ..sim import Engine
 from ..trace import PhaseLog
 from .costs import CostModel, DEFAULT_COSTS
@@ -65,6 +65,52 @@ class RunConfig:
     collect_mpi_trace: bool = False
     #: team task scheduler: "lpt" (default), "fifo" or "lifo"
     scheduler: str = "lpt"
+    #: coordinated checkpoint barrier every N steps (0: never).  Part of the
+    #: run *timing* whether or not a checkpoint path is given, so a full
+    #: run and a restarted one stay bit-identical.
+    checkpoint_every: int = 0
+
+    def __post_init__(self):
+        """Eager validation: fail at construction with an actionable message
+        instead of deep inside the simulated run."""
+        from ..machine.presets import PRESETS
+        if self.nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+        if self.threads_per_rank < 1:
+            raise ValueError(
+                f"threads_per_rank must be >= 1, got {self.threads_per_rank}")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.mode not in ("sync", "coupled"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; available: 'sync', 'coupled'")
+        if self.mode == "coupled" and not 1 <= self.fluid_ranks \
+                <= self.nranks - 1:
+            raise ValueError(
+                f"coupled mode needs 1 <= fluid_ranks < nranks "
+                f"(got {self.fluid_ranks} of {self.nranks})")
+        if self.mapping not in (None, "block", "cyclic"):
+            raise ValueError(
+                f"unknown mapping {self.mapping!r}; available: "
+                f"'block', 'cyclic' (or None for the mode default)")
+        if self.scheduler not in Team.SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; available: "
+                f"{Team.SCHEDULERS}")
+        if self.partition_method not in ("rcb", "multilevel"):
+            raise ValueError(
+                f"unknown partition_method {self.partition_method!r}; "
+                f"available: 'rcb', 'multilevel'")
+        if self.subdomains_per_rank < 1:
+            raise ValueError(f"subdomains_per_rank must be >= 1, "
+                             f"got {self.subdomains_per_rank}")
+        if self.checkpoint_every < 0:
+            raise ValueError(f"checkpoint_every must be >= 0, "
+                             f"got {self.checkpoint_every}")
+        if self.cluster.lower() not in PRESETS:
+            raise ValueError(
+                f"unknown cluster {self.cluster!r}; available: "
+                f"{sorted(PRESETS)}")
 
     def resolved_mapping(self) -> str:
         """Process placement: interleave the two codes in coupled mode so
@@ -94,6 +140,9 @@ class RunResult:
     deposition: dict
     n_particles: int
     tracer: object = None              # Tracer if collect_mpi_trace
+    faults: object = None              # FaultInjector if a plan was injected
+    #: (step, sim_time) of every checkpoint written during the run
+    checkpoints: list = field(default_factory=list)
 
     def mpi_seconds_by_rank(self):
         """Blocking-MPI time per rank (needs collect_mpi_trace=True)."""
@@ -150,13 +199,28 @@ class _RunContext:
     """Prebuilt graphs and metadata shared by all rank programs of a run."""
 
     def __init__(self, workload: Workload, config: RunConfig,
-                 costs: CostModel):
+                 costs: CostModel, start_step: int = 0,
+                 fault_tolerant: bool = False):
         self.workload = workload
         self.config = config
         self.costs = costs
         self.spec = workload.spec
         self.log = PhaseLog(config.nranks)
         self.teams: dict[int, Team] = {}
+        self.start_step = start_step
+        #: degrade instead of failing when a peer dies mid-exchange
+        self.fault_tolerant = fault_tolerant
+        #: steps opening with a coordinated checkpoint barrier.  Steps at or
+        #: before ``start_step`` are excluded so a restarted run does not
+        #: re-checkpoint its own entry point.
+        self.checkpoint_steps = {
+            s for s in range(1, self.spec.n_steps)
+            if config.checkpoint_every
+            and s % config.checkpoint_every == 0 and s > start_step}
+        #: (step, rank, dead_neighbor) halo exchanges that were degraded
+        self.degraded_halos: list[tuple[int, int, int]] = []
+        #: set by run_cfpd: callback(world_rank, step) after the barrier
+        self.on_checkpoint = None
         nthreads = config.threads_per_rank
         if config.mode == "sync":
             fluid_n = config.nranks
@@ -164,11 +228,7 @@ class _RunContext:
             self.particle_world_ranks = list(range(config.nranks))
             particle_n = config.nranks
         else:
-            f = config.fluid_ranks
-            if not 1 <= f <= config.nranks - 1:
-                raise ValueError(
-                    f"coupled mode needs 1 <= fluid_ranks < nranks "
-                    f"(got {f} of {config.nranks})")
+            f = config.fluid_ranks  # bounds checked by RunConfig
             fluid_n = f
             particle_n = config.nranks - f
             self.fluid_world_ranks = list(range(f))
@@ -256,15 +316,36 @@ def _run_phase(ctx: _RunContext, comm, team, step, phase, graph):
     return stats
 
 
-def _halo_exchange(ctx: _RunContext, sub_comm, local_rank, tag):
+def _halo_exchange(ctx: _RunContext, sub_comm, local_rank, tag, step=0):
     """Point-to-point halo exchange with the partition neighbours: post
-    all sends and receives, then wait (where DLB can lend cores)."""
+    all sends and receives, then wait (where DLB can lend cores).
+
+    In fault-tolerant runs, neighbours that died are skipped (their halo
+    contribution is stale — the degradation is recorded) and a neighbour
+    dying mid-exchange downgrades to a partial exchange instead of
+    aborting the survivor.
+    """
+    dead = sub_comm.world.dead_ranks
     neighbors = ctx.halo_neighbors[local_rank]
+    if ctx.fault_tolerant and dead:
+        live = []
+        for nb, nbytes in neighbors:
+            if sub_comm.world_rank_of(nb) in dead:
+                ctx.degraded_halos.append((step, sub_comm.world_rank, nb))
+            else:
+                live.append((nb, nbytes))
+        neighbors = live
     reqs = [sub_comm.isend(None, dest=nb, tag=tag, nbytes=nbytes)
             for nb, nbytes in neighbors]
     reqs += [sub_comm.irecv(source=nb, tag=tag) for nb, _ in neighbors]
-    if reqs:
+    if not reqs:
+        return
+    try:
         yield from sub_comm.waitall(reqs)
+    except RankDeadError as exc:
+        if not ctx.fault_tolerant:
+            raise
+        ctx.degraded_halos.append((step, sub_comm.world_rank, exc.rank))
 
 
 def _fluid_phases(ctx: _RunContext, world_comm, sub_comm, team, local_rank,
@@ -279,7 +360,8 @@ def _fluid_phases(ctx: _RunContext, world_comm, sub_comm, team, local_rank,
     """
     yield from _run_phase(ctx, world_comm, team, step, "assembly",
                           ctx.assembly[local_rank])
-    yield from _halo_exchange(ctx, sub_comm, local_rank, tag=1000 + step)
+    yield from _halo_exchange(ctx, sub_comm, local_rank, tag=1000 + step,
+                              step=step)
     yield from sub_comm.allreduce(
         0.0, nbytes=16.0 * ctx.costs.solver1_iterations)
     yield from _run_phase(ctx, world_comm, team, step, "solver1",
@@ -294,9 +376,25 @@ def _fluid_phases(ctx: _RunContext, world_comm, sub_comm, team, local_rank,
     yield from sub_comm.allreduce(0.0, nbytes=8.0)
 
 
+def _checkpoint_barrier(ctx: _RunContext, comm, step):
+    """Coordinated checkpoint cut: barrier, then (one rank) write.
+
+    The barrier is unobserved (no PMPI hooks) so DLB neither lends nor
+    reclaims across the cut: ranks leaving an observed barrier one event
+    at a time would briefly borrow the still-lent cores of slower ranks,
+    and a restarted run (which never executes this barrier) could not
+    reproduce that transient — breaking restart bit-equivalence.
+    """
+    yield from comm.barrier(observed=False)
+    if ctx.on_checkpoint is not None:
+        ctx.on_checkpoint(comm.world_rank, step)
+
+
 def _sync_program(comm, ctx: _RunContext):
     team = ctx.teams[comm.rank]
-    for step in range(ctx.spec.n_steps):
+    for step in range(ctx.start_step, ctx.spec.n_steps):
+        if step in ctx.checkpoint_steps:
+            yield from _checkpoint_barrier(ctx, comm, step)
         yield from _fluid_phases(ctx, comm, comm, team, comm.rank, step)
         yield from _run_phase(ctx, comm, team, step, "particles",
                               ctx.particles[comm.rank][step])
@@ -308,10 +406,14 @@ def _sync_program(comm, ctx: _RunContext):
 def _coupled_fluid_program(comm, ctx: _RunContext, sub_comm):
     team = ctx.teams[comm.rank]
     local = comm.rank  # fluid world ranks are 0..f-1
-    for step in range(ctx.spec.n_steps):
+    dead = comm.world.dead_ranks
+    for step in range(ctx.start_step, ctx.spec.n_steps):
+        if step in ctx.checkpoint_steps:
+            yield from _checkpoint_barrier(ctx, comm, step)
         yield from _fluid_phases(ctx, comm, sub_comm, team, local, step)
         reqs = [comm.isend(None, dest=pj, tag=step, nbytes=nbytes)
-                for pj, nbytes in ctx.sends[local]]
+                for pj, nbytes in ctx.sends[local]
+                if not (ctx.fault_tolerant and pj in dead)]
         if reqs:
             yield from comm.waitall(reqs)
     yield from comm.barrier()
@@ -320,10 +422,19 @@ def _coupled_fluid_program(comm, ctx: _RunContext, sub_comm):
 def _coupled_particle_program(comm, ctx: _RunContext, sub_comm):
     team = ctx.teams[comm.rank]
     local = comm.rank - ctx.config.fluid_ranks
-    for step in range(ctx.spec.n_steps):
-        reqs = [comm.irecv(source=fi, tag=step) for fi in ctx.recvs[local]]
+    dead = comm.world.dead_ranks
+    for step in range(ctx.start_step, ctx.spec.n_steps):
+        if step in ctx.checkpoint_steps:
+            yield from _checkpoint_barrier(ctx, comm, step)
+        reqs = [comm.irecv(source=fi, tag=step) for fi in ctx.recvs[local]
+                if not (ctx.fault_tolerant and fi in dead)]
         if reqs:
-            yield from comm.waitall(reqs)
+            try:
+                yield from comm.waitall(reqs)
+            except RankDeadError as exc:
+                if not ctx.fault_tolerant:
+                    raise
+                ctx.degraded_halos.append((step, comm.world_rank, exc.rank))
         yield from _run_phase(ctx, comm, team, step, "particles",
                               ctx.particles[local][step])
         yield from sub_comm.alltoall([None] * sub_comm.size,
@@ -335,27 +446,98 @@ def _coupled_particle_program(comm, ctx: _RunContext, sub_comm):
 # entry point
 # ---------------------------------------------------------------------------
 
+def _verify_restart_state(wl: Workload, ckpt) -> None:
+    """Check the checkpointed physics against a rebuilt workload.
+
+    The numeric layer is deterministic from the spec, so every array must
+    match bit-for-bit; a mismatch means the file is corrupted or the code
+    drifted since the checkpoint was taken.
+    """
+    from ..fault import CheckpointError
+
+    state = wl.particle_state_at(ckpt.step)
+    p = ckpt.particles
+    same = (np.array_equal(state.x, p.get("x"))
+            and np.array_equal(state.v, p.get("v"))
+            and np.array_equal(state.a, p.get("a"))
+            and np.array_equal(state.status, p.get("status")))
+    if not same:
+        raise CheckpointError(
+            f"checkpoint particle state at step {ckpt.step} does not match "
+            f"the deterministic replay — corrupted file or code drift")
+    if not np.array_equal(wl.nodal_velocity, ckpt.nodal_velocity):
+        raise CheckpointError(
+            "checkpoint velocity field does not match the workload")
+    if list(wl.sgs_history()[:ckpt.step]) != list(ckpt.sgs_norms):
+        raise CheckpointError(
+            "checkpoint SGS history does not match the workload")
+
+
 def run_cfpd(config: RunConfig,
              spec: Optional[WorkloadSpec] = None,
              workload: Optional[Workload] = None,
-             costs: CostModel = DEFAULT_COSTS) -> RunResult:
+             costs: CostModel = DEFAULT_COSTS, *,
+             fault_plan=None,
+             checkpoint_path: Optional[str] = None,
+             restart_from: Optional[str] = None) -> RunResult:
     """Run the CFPD simulation under ``config`` and return its metrics.
 
     The numeric workload is computed (or fetched from the cache) once; the
     distributed execution is then simulated on the configured cluster.
+
+    Robustness extensions (all optional):
+
+    * ``fault_plan`` — a :class:`repro.fault.FaultPlan` injected into the
+      run; the run becomes *fault tolerant* (survivors degrade around dead
+      ranks instead of failing).  The injector lands in ``result.faults``.
+    * ``checkpoint_path`` — write a coordinated checkpoint at every
+      ``config.checkpoint_every`` steps (the lowest alive rank writes).
+    * ``restart_from`` — resume from a checkpoint file; the run continues
+      at the checkpointed step and simulated time, and completes with
+      results identical to an uninterrupted run of the same config.
     """
+    if checkpoint_path is not None and not config.checkpoint_every:
+        raise ValueError(
+            "checkpoint_path given but config.checkpoint_every is 0 — no "
+            "checkpoint would ever be written; set checkpoint_every=N")
+    start_step = 0
+    ckpt = None
+    if restart_from is not None:
+        from ..fault import CheckpointError, load_checkpoint
+        ckpt = load_checkpoint(restart_from)
+        if ckpt.config != config:
+            raise CheckpointError(
+                f"checkpoint was taken under config "
+                f"{ckpt.config.label()!r}, refusing to resume under "
+                f"{config.label()!r} — pass the original RunConfig")
+        if spec is not None and spec != ckpt.spec:
+            raise CheckpointError(
+                "checkpoint workload spec does not match the requested one")
+        spec = ckpt.spec
+        start_step = ckpt.step
     wl = workload if workload is not None else get_workload(
         spec or WorkloadSpec(), costs)
+    if ckpt is not None:
+        from ..fault import CheckpointError
+        if wl.spec != ckpt.spec:
+            raise CheckpointError(
+                "checkpoint workload spec does not match the requested one")
+        _verify_restart_state(wl, ckpt)
     cluster = get_cluster(config.cluster, config.num_nodes)
     needed = config.nranks * config.threads_per_rank
     if needed > cluster.total_cores:
         raise ValueError(
             f"{config.nranks} ranks x {config.threads_per_rank} threads "
             f"exceed the {cluster.total_cores} cores of {cluster.name}")
-    ctx = _RunContext(wl, config, costs)
+    ctx = _RunContext(wl, config, costs, start_step=start_step,
+                      fault_tolerant=fault_plan is not None)
     engine = Engine()
     world = World(engine, cluster, config.nranks,
                   mapping=config.resolved_mapping())
+    if ckpt is not None:
+        from ..trace import PhaseSample
+        engine.now = ckpt.sim_time
+        ctx.log.samples.extend(PhaseSample(*t) for t in ckpt.phase_samples)
     tracer = None
     if config.collect_mpi_trace:
         from ..trace import Tracer
@@ -367,6 +549,43 @@ def run_cfpd(config: RunConfig,
                     rank=r, scheduler=config.scheduler)
         ctx.teams[r] = team
         dlb.attach_team(r, team)
+    injector = None
+    if fault_plan is not None:
+        from ..fault import FaultInjector
+        injector = FaultInjector(world, fault_plan, teams=ctx.teams,
+                                 dlb=dlb, workload=wl)
+        injector.start()
+    checkpoints: list = []
+    if checkpoint_path is not None:
+        from ..fault import CHECKPOINT_VERSION, Checkpoint, save_checkpoint
+
+        def on_checkpoint(world_rank: int, step: int) -> None:
+            if world_rank != world.lowest_alive_rank():
+                return
+            if checkpoints and checkpoints[-1][0] == step:
+                return
+            state = wl.particle_state_at(step)
+            save_checkpoint(checkpoint_path, Checkpoint(
+                version=CHECKPOINT_VERSION,
+                step=step,
+                sim_time=engine.now,
+                config=config,
+                spec=wl.spec,
+                phase_samples=[(s.step, s.phase, s.rank, s.t0, s.t1,
+                                s.busy, s.instructions)
+                               for s in ctx.log.samples],
+                particles={
+                    "x": state.x.copy(), "v": state.v.copy(),
+                    "a": state.a.copy(), "status": state.status.copy(),
+                    "diameter": (None if state.diameter is None
+                                 else state.diameter.copy())},
+                nodal_velocity=wl.nodal_velocity.copy(),
+                sgs_norms=list(wl.sgs_history()[:step]),
+                rng={"injection_seed": wl.spec.injection_seed},
+                written_by_rank=world_rank))
+            checkpoints.append((step, engine.now))
+
+        ctx.on_checkpoint = on_checkpoint
     if config.mode == "sync":
         procs = world.launch(_sync_program, ctx)
     elif config.mode == "coupled":
@@ -378,14 +597,16 @@ def run_cfpd(config: RunConfig,
         for r in range(config.nranks):
             comm = world.comm_world(r)
             if r < f:
-                procs.append(engine.process(
+                proc = engine.process(
                     _coupled_fluid_program(comm, ctx, fluid_comms[r]),
-                    name=f"fluid{r}"))
+                    name=f"fluid{r}")
             else:
-                procs.append(engine.process(
+                proc = engine.process(
                     _coupled_particle_program(comm, ctx,
                                               particle_comms[r - f]),
-                    name=f"part{r - f}"))
+                    name=f"part{r - f}")
+            world.register_rank_process(r, proc)
+            procs.append(proc)
     else:
         raise ValueError(f"unknown mode {config.mode!r}")
     world.run(procs)
@@ -396,4 +617,6 @@ def run_cfpd(config: RunConfig,
                      solver_info=ctx.solver_info,
                      deposition=wl.deposition_summary(),
                      n_particles=wl.n_particles,
-                     tracer=tracer)
+                     tracer=tracer,
+                     faults=injector,
+                     checkpoints=checkpoints)

@@ -306,6 +306,26 @@ class Workload:
             self._trajectory = steps
         return self._trajectory
 
+    def particle_state_at(self, step: int) -> ParticleState:
+        """Particle population at the *start* of ``step``, replayed
+        deterministically (injections and tracking of all earlier steps).
+
+        Used by checkpointing: the state is a pure function of the spec,
+        so a restarted run can verify a checkpoint bit-for-bit.
+        """
+        injection_steps = set(self.spec.injection_steps())
+        state = ParticleState.empty()
+        tracker = NewmarkTracker(self.flow,
+                                 particles=ParticleProperties(),
+                                 fluid=FluidProperties())
+        for s in range(step):
+            if s in injection_steps:
+                state.extend(inject_at_inlet(
+                    self.airway, self.n_particles,
+                    seed=self.spec.injection_seed + s))
+            tracker.step(state, self.spec.dt)
+        return state
+
     @property
     def total_injected(self) -> int:
         """Particles injected over the whole run (all injections)."""

@@ -45,6 +45,9 @@ class DLBStats:
     cores_lent_total: int = 0
     cores_borrowed_total: int = 0
     max_team_capacity: int = 0
+    rank_death_events: int = 0
+    cores_inherited: int = 0      # dead ranks' cores absorbed into pools
+    throttle_events: int = 0
 
 
 class DLB:
@@ -74,6 +77,7 @@ class DLB:
         self._lent: Dict[int, int] = {}          # rank -> cores donated
         self._borrowed: Dict[int, int] = {}      # rank -> extra cores held
         self._in_mpi: Dict[int, bool] = {}
+        self._dead: set[int] = set()
         self.stats = DLBStats()
         if enabled:
             world.hooks.register(self)
@@ -93,7 +97,7 @@ class DLB:
     # -- PMPI hook interface ----------------------------------------------------
     def on_mpi_enter(self, rank: int, call: str) -> None:
         """PMPI hook: ``rank`` blocked in MPI — lend its idle cores."""
-        if rank not in self.teams:
+        if rank not in self.teams or rank in self._dead:
             return
         self._in_mpi[rank] = True
         team = self.teams[rank]
@@ -120,7 +124,7 @@ class DLB:
 
     def on_mpi_exit(self, rank: int, call: str) -> None:
         """PMPI hook: ``rank`` resumed — reclaim its lent cores."""
-        if rank not in self.teams:
+        if rank not in self.teams or rank in self._dead:
             return
         self._in_mpi[rank] = False
         team = self.teams[rank]
@@ -153,7 +157,8 @@ class DLB:
     def on_team_hungry(self, team: Team) -> None:
         """Team listener: grant pooled cores to a capacity-bound team."""
         rank = team.rank
-        if rank not in self.teams or self._in_mpi.get(rank):
+        if rank not in self.teams or self._in_mpi.get(rank) \
+                or rank in self._dead:
             return
         node = self.world.node_of(rank)
         self._grant(node, rank)
@@ -161,7 +166,7 @@ class DLB:
     def on_team_idle(self, team: Team) -> None:
         """Team listener: return a finished team's borrowed cores."""
         rank = team.rank
-        if rank not in self.teams:
+        if rank not in self.teams or rank in self._dead:
             return
         extra = self._borrowed[rank]
         if extra <= 0:
@@ -172,10 +177,45 @@ class DLB:
         self._pool[node] += extra
         self._feed(node)
 
+    # -- fault reaction (graceful degradation) ------------------------------
+    def on_rank_death(self, rank: int) -> None:
+        """Absorb a dead rank's cores into its node pool permanently.
+
+        The dead rank's whole current capacity (own cores minus lent plus
+        borrowed) goes to the pool, where surviving hungry teams on the node
+        pick it up — the run degrades instead of idling the hardware.
+        """
+        if rank not in self.teams or rank in self._dead:
+            return
+        self._dead.add(rank)
+        team = self.teams[rank]
+        node = self.world.node_of(rank)
+        inherited = team.capacity
+        if inherited > 0:
+            self._pool[node] = self._pool.get(node, 0) + inherited
+        # Freeze the dead team's books so reclaim math stays conserved.
+        self._borrowed[rank] = 0
+        self._lent[rank] = team.base_threads
+        team.set_capacity(0)
+        self.stats.rank_death_events += 1
+        self.stats.cores_inherited += inherited
+        if self.enabled:
+            self._feed(node)
+
+    def on_rank_throttle(self, rank: int, factor: float) -> None:
+        """Record an injected throttle on ``rank`` (cores keep their count;
+        the Team's slowdown stretches task durations, and LeWI naturally
+        shifts work away because the straggler stays busy longer)."""
+        if rank not in self.teams:
+            return
+        self.teams[rank].set_slowdown(factor)
+        self.stats.throttle_events += 1
+
     # -- internals --------------------------------------------------------
     def _borrowers_on(self, node: int):
         return [r for r in self.teams
-                if self.world.node_of(r) == node and self._borrowed[r] > 0]
+                if self.world.node_of(r) == node and self._borrowed[r] > 0
+                and r not in self._dead]
 
     def _grant(self, node: int, rank: int) -> None:
         """Give pool cores to ``rank``'s team, bounded by its appetite."""
@@ -200,6 +240,7 @@ class DLB:
         hungry = [r for r in self.teams
                   if self.world.node_of(r) == node
                   and not self._in_mpi.get(r)
+                  and r not in self._dead
                   and self.teams[r].wants_cores]
         for rank in hungry:
             if self._pool.get(node, 0) <= 0:

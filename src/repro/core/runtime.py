@@ -113,6 +113,8 @@ class Team:
         self.listener = listener
         self.scheduler = scheduler
         self._max_workers = nthreads
+        #: execution-time multiplier (> 1 under an injected DVFS throttle)
+        self.slowdown = 1.0
         self._active = 0
         self._ready: deque[Task] = deque()
         self._held_refs: set = set()
@@ -160,6 +162,14 @@ class Team:
         self._max_workers = n
         if grew and self._graph is not None:
             self._dispatch()
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale execution time of future tasks by ``factor`` (straggler or
+        DVFS-throttle injection; ``1.0`` restores nominal speed).  Tasks
+        already running finish at the speed they started with."""
+        if factor <= 0:
+            raise RuntimeError_(f"slowdown must be > 0, got {factor}")
+        self.slowdown = factor
 
     # -- execution ------------------------------------------------------------
     def run(self, graph: TaskGraph):
@@ -240,14 +250,15 @@ class Team:
 
     def _worker(self, task: Task):
         t0 = self.engine.now
-        duration = self.core.seconds(task.work) + self.task_overhead_s
+        exec_seconds = self.core.seconds(task.work) * self.slowdown
+        duration = exec_seconds + self.task_overhead_s
         yield self.engine.timeout(duration)
         t1 = self.engine.now
         stats = self._stats
         assert stats is not None
         stats.tasks_run += 1
         stats.instructions += task.work.instructions
-        stats.busy_seconds += self.core.seconds(task.work)
+        stats.busy_seconds += exec_seconds
         stats.overhead_seconds += self.task_overhead_s
         if self.recorder is not None and task.work.instructions > 0:
             self.recorder.record(self.rank, "task", task.label, t0, t1)

@@ -1,0 +1,40 @@
+"""Fault injection, failure detection, and checkpoint/restart.
+
+Three layers:
+
+* **injection** (:mod:`repro.fault.plan`, :mod:`repro.fault.injector`) —
+  seeded deterministic fault schedules replayed in simulated time;
+* **detection & recovery** — deadlock diagnostics live in
+  :mod:`repro.smpi.comm`, solver breakdown guards in
+  :mod:`repro.solver.krylov`, and coordinated checkpoint/restart here in
+  :mod:`repro.fault.checkpoint` (driven by :mod:`repro.app.driver`);
+* **graceful degradation** — DLB absorbs dead ranks' cores
+  (:meth:`repro.core.dlb.DLB.on_rank_death`) and the per-run
+  :func:`~repro.fault.report.resilience_report` tells the story.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .injector import FaultEvent, FaultInjector, exercise_solver_fault
+from .plan import KINDS, FaultPlan, FaultSpec
+from .report import resilience_report
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "KINDS",
+    "exercise_solver_fault",
+    "load_checkpoint",
+    "resilience_report",
+    "save_checkpoint",
+]

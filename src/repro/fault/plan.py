@@ -1,0 +1,133 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a frozen, seeded list of :class:`FaultSpec` events.
+Because triggers fire in *simulated* time on the DES engine, replaying the
+same plan against the same run configuration reproduces the same failure
+scenario bit-for-bit — which is what makes resilience experiments (and
+their tests) possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["KINDS", "FaultSpec", "FaultPlan"]
+
+#: Supported fault kinds:
+#:
+#: ``straggler``      — multiply task durations on one rank's team by
+#:                      ``factor`` for ``duration`` seconds (DVFS throttle /
+#:                      noisy neighbour);
+#: ``rank_death``     — kill one rank's process (node crash);
+#: ``msg_delay``      — add ``delay`` seconds to messages leaving ``rank``
+#:                      for ``duration`` seconds (congested / flaky link);
+#: ``msg_drop``       — silently drop the next ``count`` messages leaving
+#:                      ``rank`` (lossy link);
+#: ``solver_perturb`` — inject NaN into a Krylov residual at iteration
+#:                      ``count`` (bit-flip in the solver phase);
+#: ``job_kill``       — abort the whole simulated job (power loss /
+#:                      wall-clock limit), exercising checkpoint/restart.
+KINDS = ("straggler", "rank_death", "msg_delay", "msg_drop",
+         "solver_perturb", "job_kill")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault occurrence."""
+
+    kind: str
+    time: float                  # simulated trigger time [s]
+    rank: int = -1               # target world rank (-1: whole job / n.a.)
+    duration: float = 0.0        # straggler / msg_delay window length [s]
+    factor: float = 4.0          # straggler slowdown multiplier
+    delay: float = 0.0           # msg_delay extra seconds per message
+    count: int = 0               # msg_drop budget / solver_perturb iteration
+    phase: str = "solver2"       # solver_perturb target phase (informative)
+    note: str = ""
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; available: {KINDS}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.duration < 0:
+            raise ValueError(
+                f"fault duration must be >= 0, got {self.duration}")
+        if self.factor <= 0:
+            raise ValueError(f"fault factor must be > 0, got {self.factor}")
+        if self.delay < 0:
+            raise ValueError(f"fault delay must be >= 0, got {self.delay}")
+        if self.kind == "straggler" and self.duration <= 0:
+            raise ValueError("straggler faults need a duration > 0")
+        if self.kind == "msg_delay" and self.delay <= 0:
+            raise ValueError("msg_delay faults need a delay > 0")
+        if self.kind == "msg_drop" and self.count <= 0:
+            raise ValueError("msg_drop faults need a count > 0")
+        if self.kind in ("straggler", "rank_death", "msg_delay", "msg_drop") \
+                and self.rank < 0:
+            raise ValueError(f"{self.kind} faults need a target rank")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, replayable schedule of faults."""
+
+    specs: tuple = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        for s in self.specs:
+            if not isinstance(s, FaultSpec):
+                raise TypeError(f"FaultPlan entries must be FaultSpec, "
+                                f"got {type(s).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def for_kind(self, kind: str) -> list[FaultSpec]:
+        """All specs of one kind, in trigger order."""
+        return sorted((s for s in self.specs if s.kind == kind),
+                      key=lambda s: s.time)
+
+    @classmethod
+    def random(cls, seed: int, nranks: int, t_end: float,
+               n_faults: int = 3,
+               kinds: Sequence[str] = ("straggler", "msg_delay",
+                                       "msg_drop")) -> "FaultPlan":
+        """A seeded random plan over ``[0, t_end)`` targeting ``nranks``.
+
+        Identical ``(seed, nranks, t_end, n_faults, kinds)`` always yields
+        an identical plan (verified by a property test).
+        """
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if t_end <= 0:
+            raise ValueError(f"t_end must be > 0, got {t_end}")
+        for k in kinds:
+            if k not in KINDS:
+                raise ValueError(
+                    f"unknown fault kind {k!r}; available: {KINDS}")
+        rng = np.random.default_rng(seed)
+        specs = []
+        for _ in range(n_faults):
+            kind = str(rng.choice(list(kinds)))
+            spec = FaultSpec(
+                kind=kind,
+                time=float(rng.uniform(0.0, t_end)),
+                rank=int(rng.integers(0, nranks)),
+                duration=float(rng.uniform(0.05, 0.5) * t_end),
+                factor=float(rng.uniform(1.5, 8.0)),
+                delay=float(rng.uniform(1e-5, 1e-3)),
+                count=int(rng.integers(1, 6)),
+            )
+            specs.append(spec)
+        specs.sort(key=lambda s: (s.time, s.kind, s.rank))
+        return cls(specs=tuple(specs), seed=seed)

@@ -1,0 +1,61 @@
+"""Per-run resilience report.
+
+Summarizes what was injected, what the detection layer saw, and how the
+run degraded or recovered — the robustness counterpart of the performance
+report in :mod:`repro.report`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["resilience_report"]
+
+
+def resilience_report(result: Any) -> str:
+    """Render the resilience story of a :class:`~repro.app.driver.RunResult`.
+
+    Works on any result; runs without fault injection report a clean bill.
+    """
+    lines = ["Resilience report", "================="]
+    lines.append(f"configuration : {result.config.label()}")
+    lines.append(f"total time    : {result.total_time:.6f} s (simulated)")
+    injector = getattr(result, "faults", None)
+    if injector is None:
+        lines.append("faults        : none injected")
+        return "\n".join(lines)
+    s = injector.summary()
+    lines.append(f"faults        : {s['fired']} fired of {s['planned']} "
+                 f"planned")
+    for kind, count in sorted(s["by_kind"].items()):
+        lines.append(f"  - {kind:<15}: {count}")
+    for ev in injector.events:
+        lines.append(f"    t={ev.time:.6f}s rank={ev.rank} "
+                     f"[{ev.kind}] {ev.detail}")
+    if s["dead_ranks"]:
+        lines.append(f"dead ranks    : {s['dead_ranks']} "
+                     f"(survivors completed the run)")
+    if s["messages_dropped"] or s["messages_delayed"]:
+        lines.append(f"messages      : {s['messages_dropped']} dropped, "
+                     f"{s['messages_delayed']} delayed")
+    for i, sf in enumerate(s["solver_faults"]):
+        outcome = ("recovered after re-preconditioning"
+                   if sf["recovered"] and sf["converged"] else
+                   f"structured failure: {sf['breakdown']}"
+                   if sf["breakdown"] else
+                   "converged" if sf["converged"] else "not converged")
+        lines.append(f"solver fault #{i + 1}: {outcome} "
+                     f"({sf['iterations']} iterations total)")
+    stats = result.dlb_stats
+    if getattr(stats, "rank_death_events", 0):
+        lines.append(f"DLB degradation: {stats.rank_death_events} rank "
+                     f"death(s) absorbed, {stats.cores_inherited} cores "
+                     f"re-lent to survivors")
+    if getattr(stats, "throttle_events", 0):
+        lines.append(f"DLB throttles  : {stats.throttle_events} "
+                     f"slowdown change(s) observed")
+    ckpts = getattr(result, "checkpoints", None) or []
+    if ckpts:
+        lines.append(f"checkpoints   : {len(ckpts)} written "
+                     f"(steps {[c[0] for c in ckpts]})")
+    return "\n".join(lines)

@@ -144,7 +144,32 @@ class Process(Event):
         """Whether the underlying generator has not yet finished."""
         return not self._triggered
 
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is currently suspended on (diagnostics)."""
+        return self._waiting_on
+
+    def interrupt(self, exc: BaseException) -> None:
+        """Throw ``exc`` into the process at the current simulated time.
+
+        The generator sees the exception raised at its current ``yield``
+        point; unless the program catches it, the process fails with
+        ``exc``.  This is the primitive behind rank-death injection.
+        """
+        if self._triggered:
+            raise SimulationError(
+                f"cannot interrupt finished process {self.name!r}")
+        if not isinstance(exc, BaseException):
+            raise TypeError("interrupt() requires an exception instance")
+        relay = Event(self.engine)
+        relay.callbacks.append(self._resume)
+        relay.fail(exc)
+
     def _resume(self, event: Event) -> None:
+        if self._triggered:
+            # Already finished (e.g. interrupted while a pending event still
+            # held a callback to us): stale wake-ups are ignored.
+            return
         self._waiting_on = None
         try:
             if event.ok:
@@ -256,6 +281,8 @@ class Engine:
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._n_events_processed = 0
+        self._procs: set[Process] = set()
+        self._stop_reason: Optional[str] = None
 
     # -- factory helpers ----------------------------------------------------
     def event(self) -> Event:
@@ -268,7 +295,10 @@ class Engine:
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Register ``generator`` as a new process starting at current time."""
-        return Process(self, generator, name=name)
+        proc = Process(self, generator, name=name)
+        self._procs.add(proc)
+        proc.callbacks.append(self._procs.discard)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Composite event triggering when all ``events`` have triggered."""
@@ -288,7 +318,16 @@ class Engine:
 
     # -- running --------------------------------------------------------------
     def step(self) -> None:
-        """Process a single event from the queue, advancing the clock."""
+        """Process a single event from the queue, advancing the clock.
+
+        Raises :class:`SimulationError` if the queue is empty — an empty
+        queue while processes are still alive means every one of them is
+        blocked on an event nobody will trigger (a deadlock).
+        """
+        if not self._queue:
+            raise SimulationError(
+                f"no events scheduled ({self.alive_process_count} "
+                f"processes still alive at t={self.now:.6f}s)")
         when, _, event = heapq.heappop(self._queue)
         if when < self.now:
             raise SimulationError("time went backwards")
@@ -308,6 +347,8 @@ class Engine:
         if until is not None and until < self.now:
             raise SimulationError("cannot run into the past")
         while self._queue:
+            if self._stop_reason is not None:
+                return
             when = self._queue[0][0]
             if until is not None and when > until:
                 self.now = until
@@ -316,7 +357,30 @@ class Engine:
         if until is not None:
             self.now = until
 
+    def stop(self, reason: str = "") -> None:
+        """Abort :meth:`run` before the queue drains (simulated job kill).
+
+        The current event finishes; no further events are processed.  The
+        reason is kept in :attr:`stop_reason` so the MPI layer can surface
+        a structured abort instead of a phantom deadlock.
+        """
+        self._stop_reason = reason or "stopped"
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """Why the engine was stopped, or ``None`` if it was not."""
+        return self._stop_reason
+
     @property
     def events_processed(self) -> int:
         """Total number of events processed so far (diagnostics)."""
         return self._n_events_processed
+
+    @property
+    def alive_process_count(self) -> int:
+        """Number of registered processes that have not finished yet."""
+        return sum(1 for p in self._procs if p.is_alive)
+
+    def blocked_processes(self) -> list["Process"]:
+        """Alive processes, for deadlock diagnostics (name + waiting_on)."""
+        return [p for p in self._procs if p.is_alive]

@@ -78,31 +78,56 @@ class Store:
     def __init__(self, engine: Engine):
         self.engine = engine
         self._items: Deque[Any] = deque()
-        self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]]]] = (
-            deque())
+        self._getters: Deque[tuple[Event, Optional[Callable[[Any], bool]],
+                                   Any]] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
         """Deposit ``item``, delivering it to the oldest matching getter."""
-        for idx, (ev, pred) in enumerate(self._getters):
+        for idx, (ev, pred, _meta) in enumerate(self._getters):
             if pred is None or pred(item):
                 del self._getters[idx]
                 ev.succeed(item)
                 return
         self._items.append(item)
 
-    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> Event:
-        """Request the oldest item matching ``predicate`` (or any item)."""
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None,
+            meta: Any = None) -> Event:
+        """Request the oldest item matching ``predicate`` (or any item).
+
+        ``meta`` is opaque bookkeeping attached to a pending get — the MPI
+        layer stores the (source, tag) of a posted receive there so that
+        failure detection can fail receives addressed to a dead peer.
+        """
         ev = Event(self.engine)
         for idx, item in enumerate(self._items):
             if predicate is None or predicate(item):
                 del self._items[idx]
                 ev.succeed(item)
                 return ev
-        self._getters.append((ev, predicate))
+        self._getters.append((ev, predicate, meta))
         return ev
+
+    def fail_pending(self, match: Callable[[Any], bool],
+                     exc: BaseException) -> int:
+        """Fail every pending get whose ``meta`` satisfies ``match``.
+
+        Waiters see ``exc`` raised.  Returns the number of failed getters.
+        Used to break receives posted to a peer that has since died.
+        """
+        kept: Deque[tuple[Event, Optional[Callable[[Any], bool]], Any]] = (
+            deque())
+        failed = 0
+        for ev, pred, meta in self._getters:
+            if match(meta):
+                ev.fail(exc)
+                failed += 1
+            else:
+                kept.append((ev, pred, meta))
+        self._getters = kept
+        return failed
 
     def peek_all(self) -> list[Any]:
         """Snapshot of queued items (diagnostics only)."""

@@ -1,16 +1,29 @@
 """Simulated MPI: world/communicators, point-to-point and collective
 operations, and the PMPI interception layer used by DLB."""
 
-from .comm import ANY_SOURCE, ANY_TAG, Comm, Message, MPIError, World
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Comm,
+    DeadlockError,
+    JobKilledError,
+    Message,
+    MPIError,
+    RankDeadError,
+    World,
+)
 from .pmpi import HookList, PMPIHook
 
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Comm",
+    "DeadlockError",
     "HookList",
+    "JobKilledError",
     "Message",
     "MPIError",
     "PMPIHook",
+    "RankDeadError",
     "World",
 ]

@@ -28,7 +28,17 @@ from ..machine import ClusterModel, rank_to_node
 from ..sim import Engine, Event, Store
 from .pmpi import HookList, PMPIHook
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "Comm", "World", "MPIError"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Message",
+    "Comm",
+    "World",
+    "MPIError",
+    "RankDeadError",
+    "DeadlockError",
+    "JobKilledError",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -36,6 +46,44 @@ ANY_TAG = -1
 
 class MPIError(RuntimeError):
     """Raised on misuse of the simulated MPI API."""
+
+
+class RankDeadError(MPIError):
+    """A point-to-point operation involved a rank that has died.
+
+    Follows the spirit of MPI ULFM (User-Level Failure Mitigation):
+    collectives shrink to the survivors transparently, but a receive posted
+    for (or in flight from) a dead peer raises this error so the
+    application can decide how to degrade.
+    """
+
+    def __init__(self, rank: int, detail: str = ""):
+        super().__init__(detail or f"rank {rank} is dead")
+        self.rank = rank
+
+
+class DeadlockError(MPIError):
+    """The event queue drained while rank programs were still blocked.
+
+    ``blocked`` holds one ``(name, call, since)`` triple per stuck process:
+    the process name, the blocking MPI call it is suspended in (or ``"?"``
+    when it is not inside the MPI layer), and the simulated time it entered
+    that call.
+    """
+
+    def __init__(self, message: str, blocked: Iterable = ()):
+        super().__init__(message)
+        self.blocked = list(blocked)
+
+
+class JobKilledError(MPIError):
+    """The whole simulated job was aborted mid-run (injected kill)."""
+
+    def __init__(self, reason: str, time: float):
+        super().__init__(
+            f"job killed at simulated t={time:.6f}s: {reason}")
+        self.reason = reason
+        self.time = time
 
 
 @dataclass(frozen=True)
@@ -63,11 +111,13 @@ def _payload_nbytes(payload: Any, nbytes: Optional[float]) -> float:
 class _Collective:
     """State of one in-flight collective operation (one per call site)."""
 
-    __slots__ = ("kind", "n", "contribs", "done", "nbytes_total")
+    __slots__ = ("kind", "n", "group", "contribs", "done", "nbytes_total")
 
-    def __init__(self, engine: Engine, kind: str, n: int):
+    def __init__(self, engine: Engine, kind: str, n: int,
+                 group: Sequence[int]):
         self.kind = kind
         self.n = n
+        self.group = tuple(group)     # world ranks of the communicator
         self.contribs: dict[int, Any] = {}
         self.done: Event = engine.event()
         self.nbytes_total = 0.0
@@ -108,16 +158,25 @@ class Comm:
         """Translate a rank local to this communicator to a world rank."""
         return self.group[local_rank]
 
+    @property
+    def world(self) -> "World":
+        """The MPI job this communicator belongs to."""
+        return self._world
+
     # -- internal helpers -----------------------------------------------------
-    def _blocking(self, call: str):
+    def _blocking(self, call: str, observed: bool = True):
         world = self._world
-        world.hooks.enter(self.world_rank, call)
+        if observed:
+            world.hooks.enter(self.world_rank, call)
         t0 = world.engine.now
+        world.pending_calls[self.world_rank] = (call, t0)
         return t0
 
-    def _unblock(self, call: str, t0: float) -> None:
+    def _unblock(self, call: str, t0: float, observed: bool = True) -> None:
         world = self._world
-        world.hooks.exit(self.world_rank, call)
+        world.pending_calls.pop(self.world_rank, None)
+        if observed:
+            world.hooks.exit(self.world_rank, call)
         world.account_mpi(self.world_rank, call, t0, world.engine.now)
 
     # -- point to point -------------------------------------------------------
@@ -127,8 +186,10 @@ class Comm:
         if not 0 <= dest < self.size:
             raise MPIError(f"dest {dest} out of range for comm size {self.size}")
         t0 = self._blocking("send")
-        yield from self._transfer(payload, dest, tag, nbytes)
-        self._unblock("send", t0)
+        try:
+            yield from self._transfer(payload, dest, tag, nbytes)
+        finally:
+            self._unblock("send", t0)
 
     def isend(self, payload: Any, dest: int, tag: int = 0,
               nbytes: Optional[float] = None) -> Event:
@@ -146,23 +207,37 @@ class Comm:
         dest_world = self.group[dest]
         delay = world.cluster.message_seconds(
             world.node_of(self.world_rank), world.node_of(dest_world), size)
+        dropped = False
+        if world.fault_controller is not None:
+            dropped, extra = world.fault_controller.on_message(
+                self.world_rank, dest_world, size)
+            delay += extra
         yield world.engine.timeout(delay)
-        world.deliver(Message(src=self.rank, dest=dest, tag=tag,
-                              comm_id=self.comm_id, payload=payload,
-                              nbytes=size), dest_world)
+        if not dropped:
+            world.deliver(Message(src=self.rank, dest=dest, tag=tag,
+                                  comm_id=self.comm_id, payload=payload,
+                                  nbytes=size), dest_world)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
-        """Blocking receive; returns the matching payload (yield from)."""
+        """Blocking receive; returns the matching payload (yield from).
+
+        Raises :class:`RankDeadError` if ``source`` is (or dies while the
+        receive is pending) a dead rank.
+        """
         t0 = self._blocking("recv")
-        msg = yield self._match(source, tag)
-        self._unblock("recv", t0)
+        try:
+            msg = yield self._match(source, tag)
+        finally:
+            self._unblock("recv", t0)
         return msg.payload
 
     def recv_msg(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Like :meth:`recv` but returns the full :class:`Message` envelope."""
         t0 = self._blocking("recv")
-        msg = yield self._match(source, tag)
-        self._unblock("recv", t0)
+        try:
+            msg = yield self._match(source, tag)
+        finally:
+            self._unblock("recv", t0)
         return msg
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
@@ -170,41 +245,56 @@ class Comm:
         return self._match(source, tag)
 
     def _match(self, source: int, tag: int) -> Event:
+        world = self._world
+        if source != ANY_SOURCE and self.group[source] in world.dead_ranks:
+            src_world = self.group[source]
+            ev = world.engine.event()
+            ev.fail(RankDeadError(
+                src_world, f"receive posted for dead rank {src_world}"))
+            return ev
+
         def predicate(msg: Message) -> bool:
             return (msg.comm_id == self.comm_id
                     and (source == ANY_SOURCE or msg.src == source)
                     and (tag == ANY_TAG or msg.tag == tag))
-        return self._world.mailbox(self.world_rank).get(predicate)
+
+        meta = None if source == ANY_SOURCE else {"src": self.group[source]}
+        return world.mailbox(self.world_rank).get(predicate, meta=meta)
 
     def wait(self, event: Event):
         """Blocking wait on a request event (isend/irecv), with PMPI hooks."""
         t0 = self._blocking("wait")
-        value = yield event
-        self._unblock("wait", t0)
+        try:
+            value = yield event
+        finally:
+            self._unblock("wait", t0)
         return value
 
     def waitall(self, events: Iterable[Event]):
         """Blocking wait on several request events; returns their values."""
         t0 = self._blocking("waitall")
-        values = yield self._world.engine.all_of(list(events))
-        self._unblock("waitall", t0)
+        try:
+            values = yield self._world.engine.all_of(list(events))
+        finally:
+            self._unblock("waitall", t0)
         return values
 
     # -- collectives ----------------------------------------------------------
     def _collective(self, kind: str, contribution: Any,
-                    nbytes: Optional[float] = None):
+                    nbytes: Optional[float] = None, observed: bool = True):
         """Join the next collective of this communicator; returns its state.
 
         MPI semantics: all ranks of the communicator must call collectives in
         the same order.  Each rank keeps a per-comm sequence number; the pair
-        (comm_id, seq) identifies the operation instance.
+        (comm_id, seq) identifies the operation instance.  ``observed=False``
+        hides the call from PMPI hooks (still timed and deadlock-tracked).
         """
         world = self._world
         seq = world.next_collective_seq(self.comm_id, self.world_rank)
         key = (self.comm_id, seq)
         coll = world.collectives.get(key)
         if coll is None:
-            coll = _Collective(world.engine, kind, self.size)
+            coll = _Collective(world.engine, kind, self.size, self.group)
             world.collectives[key] = coll
         if coll.kind != kind:
             raise MPIError(
@@ -213,41 +303,24 @@ class Comm:
                 f"{coll.kind!r}")
         coll.contribs[self.rank] = contribution
         coll.nbytes_total += _payload_nbytes(contribution, nbytes)
-        t0 = self._blocking(kind)
-        if len(coll.contribs) == coll.n:
-            del world.collectives[key]
-            delay = self._collective_cost(coll)
-            done = coll.done
-
-            def finish():
-                yield world.engine.timeout(delay)
-                done.succeed(dict(coll.contribs))
-
-            world.engine.process(finish(), name=f"{kind}[{self.comm_id}]")
-        contribs = yield coll.done
-        self._unblock(kind, t0)
+        t0 = self._blocking(kind, observed)
+        world.maybe_finish_collective(key)
+        try:
+            contribs = yield coll.done
+        finally:
+            self._unblock(kind, t0, observed)
         return contribs
 
-    def _collective_cost(self, coll: _Collective) -> float:
-        """Hierarchical tree collective: intra-node reduction trees plus an
-        inter-node exchange tree (the standard 2-level MPI algorithm)."""
-        world = self._world
-        nodes: dict[int, int] = {}
-        for w in self.group:
-            node = world.node_of(w)
-            nodes[node] = nodes.get(node, 0) + 1
-        per_rank = coll.nbytes_total / max(1, coll.n)
-        intra_steps = max(1, math.ceil(math.log2(max(2, max(nodes.values())))))
-        cost = intra_steps * world.cluster.intranode.transfer_seconds(per_rank)
-        if len(nodes) > 1:
-            inter_steps = max(1, math.ceil(math.log2(len(nodes))))
-            cost += inter_steps * world.cluster.interconnect.transfer_seconds(
-                per_rank)
-        return cost
+    def barrier(self, observed: bool = True):
+        """Synchronize all ranks of the communicator.
 
-    def barrier(self):
-        """Synchronize all ranks of the communicator."""
-        yield from self._collective("barrier", None, nbytes=1.0)
+        ``observed=False`` keeps the barrier invisible to PMPI hooks —
+        used for checkpoint cuts, where DLB lending across the barrier
+        would make the post-cut timeline depend on whether the barrier
+        was executed (a restarted run never executes it).
+        """
+        yield from self._collective("barrier", None, nbytes=1.0,
+                                    observed=observed)
 
     def iallreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
                    nbytes: Optional[float] = None) -> Event:
@@ -263,7 +336,8 @@ class Comm:
         key = (self.comm_id, seq)
         coll = world.collectives.get(key)
         if coll is None:
-            coll = _Collective(world.engine, "iallreduce", self.size)
+            coll = _Collective(world.engine, "iallreduce", self.size,
+                               self.group)
             world.collectives[key] = coll
         if coll.kind != "iallreduce":
             raise MPIError(
@@ -272,23 +346,14 @@ class Comm:
                 f"{coll.kind!r}")
         coll.contribs[self.rank] = value
         coll.nbytes_total += _payload_nbytes(value, nbytes)
-        if len(coll.contribs) == coll.n:
-            del world.collectives[key]
-            delay = self._collective_cost(coll)
-            done = coll.done
-
-            def finish():
-                yield world.engine.timeout(delay)
-                done.succeed(dict(coll.contribs))
-
-            world.engine.process(finish(), name=f"iallreduce[{self.comm_id}]")
+        world.maybe_finish_collective(key)
         # derive a per-rank event carrying the reduced value
         result = world.engine.event()
 
         def relay(ev: Event) -> None:
             contribs = ev.value
             result.succeed(_reduce_values(
-                [contribs[r] for r in range(self.size)], op))
+                [contribs[r] for r in sorted(contribs)], op))
 
         if coll.done.processed:
             relay(coll.done)
@@ -298,9 +363,13 @@ class Comm:
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = None,
                   nbytes: Optional[float] = None):
-        """Reduce ``value`` across ranks; every rank gets the result."""
+        """Reduce ``value`` across ranks; every rank gets the result.
+
+        When ranks have died, the reduction runs over the survivors'
+        contributions (collectives shrink, ULFM-style).
+        """
         contribs = yield from self._collective("allreduce", value, nbytes)
-        return _reduce_values([contribs[r] for r in range(self.size)], op)
+        return _reduce_values([contribs[r] for r in sorted(contribs)], op)
 
     def reduce(self, value: Any, root: int = 0,
                op: Callable[[Any, Any], Any] = None,
@@ -309,43 +378,50 @@ class Comm:
         contribs = yield from self._collective("reduce", value, nbytes)
         if self.rank != root:
             return None
-        return _reduce_values([contribs[r] for r in range(self.size)], op)
+        return _reduce_values([contribs[r] for r in sorted(contribs)], op)
 
     def bcast(self, value: Any, root: int = 0,
               nbytes: Optional[float] = None):
         """Broadcast ``root``'s value to every rank."""
         contribs = yield from self._collective("bcast", value, nbytes)
+        if root not in contribs:
+            raise RankDeadError(self.group[root],
+                                f"bcast root {root} died before contributing")
         return contribs[root]
 
     def gather(self, value: Any, root: int = 0,
                nbytes: Optional[float] = None):
-        """Gather one value per rank to ``root`` (list ordered by rank)."""
+        """Gather one value per rank to ``root`` (list ordered by rank).
+
+        Dead ranks' slots are ``None``.
+        """
         contribs = yield from self._collective("gather", value, nbytes)
         if self.rank != root:
             return None
-        return [contribs[r] for r in range(self.size)]
+        return [contribs.get(r) for r in range(self.size)]
 
     def allgather(self, value: Any, nbytes: Optional[float] = None):
-        """Gather one value per rank to *all* ranks."""
+        """Gather one value per rank to *all* ranks (dead slots ``None``)."""
         contribs = yield from self._collective("allgather", value, nbytes)
-        return [contribs[r] for r in range(self.size)]
+        return [contribs.get(r) for r in range(self.size)]
 
     def scatter(self, values: Optional[Sequence[Any]], root: int = 0,
                 nbytes: Optional[float] = None):
         """Scatter ``root``'s list of size-``size`` values, one per rank."""
         contribs = yield from self._collective("scatter", values, nbytes)
-        root_values = contribs[root]
+        root_values = contribs.get(root)
         if root_values is None or len(root_values) != self.size:
             raise MPIError("scatter root must supply one value per rank")
         return root_values[self.rank]
 
     def alltoall(self, values: Sequence[Any],
                  nbytes: Optional[float] = None):
-        """Each rank supplies one value per peer; receives one from each."""
+        """Each rank supplies one value per peer; receives one from each
+        surviving peer (in rank order)."""
         if len(values) != self.size:
             raise MPIError("alltoall needs exactly one value per rank")
         contribs = yield from self._collective("alltoall", list(values), nbytes)
-        return [contribs[r][self.rank] for r in range(self.size)]
+        return [contribs[r][self.rank] for r in sorted(contribs)]
 
     # -- convenience --------------------------------------------------------
     def compute(self, seconds: float):
@@ -403,6 +479,13 @@ class World:
         self.compute_seconds = [0.0] * nranks
         #: optional recorder with record(rank, category, name, t0, t1)
         self.recorder: Optional[Any] = None
+        #: world ranks that have been killed (failure injection)
+        self.dead_ranks: set[int] = set()
+        #: world_rank -> (call, entered_at) for every rank blocked in MPI
+        self.pending_calls: dict[int, tuple[str, float]] = {}
+        #: optional fault controller with on_message(src, dest, nbytes)
+        self.fault_controller: Optional[Any] = None
+        self._rank_procs: dict[int, Any] = {}
 
     # -- topology -----------------------------------------------------------
     def node_of(self, world_rank: int) -> int:
@@ -449,8 +532,11 @@ class World:
 
         ``msg.src``/``msg.dest`` stay comm-local (matching happens inside the
         destination's view of the same communicator); routing uses the world
-        rank resolved by the sender.
+        rank resolved by the sender.  Messages addressed to a dead rank are
+        silently discarded, like packets to a crashed node.
         """
+        if dest_world_rank in self.dead_ranks:
+            return
         self._mailboxes[dest_world_rank].put(msg)
 
     def account_mpi(self, world_rank: int, call: str, t0: float,
@@ -473,6 +559,92 @@ class World:
         self._coll_seq[key] = seq + 1
         return seq
 
+    def collective_cost(self, coll: _Collective) -> float:
+        """Hierarchical tree collective: intra-node reduction trees plus an
+        inter-node exchange tree (the standard 2-level MPI algorithm)."""
+        nodes: dict[int, int] = {}
+        for w in coll.group:
+            node = self.node_of(w)
+            nodes[node] = nodes.get(node, 0) + 1
+        per_rank = coll.nbytes_total / max(1, coll.n)
+        intra_steps = max(1, math.ceil(math.log2(max(2, max(nodes.values())))))
+        cost = intra_steps * self.cluster.intranode.transfer_seconds(per_rank)
+        if len(nodes) > 1:
+            inter_steps = max(1, math.ceil(math.log2(len(nodes))))
+            cost += inter_steps * self.cluster.interconnect.transfer_seconds(
+                per_rank)
+        return cost
+
+    def maybe_finish_collective(self, key: tuple[int, int]) -> None:
+        """Complete collective ``key`` once every *alive* member contributed.
+
+        Called on each contribution and again whenever a rank dies, so that
+        collectives shrink to the survivors instead of hanging on a
+        contribution that will never arrive.
+        """
+        coll = self.collectives.get(key)
+        if coll is None:
+            return
+        alive = [i for i, w in enumerate(coll.group)
+                 if w not in self.dead_ranks]
+        if not alive:
+            # Everyone in the group died: nobody is waiting, drop it.
+            del self.collectives[key]
+            return
+        if not all(i in coll.contribs for i in alive):
+            return
+        del self.collectives[key]
+        delay = self.collective_cost(coll)
+        done = coll.done
+        contribs = {i: v for i, v in coll.contribs.items() if i in alive}
+
+        def finish():
+            yield self.engine.timeout(delay)
+            done.succeed(contribs)
+
+        self.engine.process(finish(), name=f"{coll.kind}[{key[0]}]")
+
+    # -- failure detection & injection ----------------------------------------
+    def register_rank_process(self, world_rank: int, proc: Any) -> None:
+        """Associate ``proc`` with ``world_rank`` for targeted rank kills."""
+        self._rank_procs[world_rank] = proc
+
+    def lowest_alive_rank(self) -> int:
+        """Smallest world rank that has not died (checkpoint writer)."""
+        for r in range(self.nranks):
+            if r not in self.dead_ranks:
+                return r
+        raise MPIError("all ranks are dead")
+
+    def kill_rank(self, world_rank: int, reason: str = "") -> None:
+        """Kill ``world_rank`` now: fail its process and unblock its peers.
+
+        Peers blocked on the dead rank observe :class:`RankDeadError`
+        (pending receives from it are failed, in-flight messages to it are
+        dropped); collectives it belonged to complete over the survivors.
+        """
+        if world_rank in self.dead_ranks:
+            return
+        if not 0 <= world_rank < self.nranks:
+            raise MPIError(f"rank {world_rank} out of range")
+        self.dead_ranks.add(world_rank)
+        self.pending_calls.pop(world_rank, None)
+        exc = RankDeadError(
+            world_rank, reason and f"rank {world_rank} died: {reason}")
+        proc = self._rank_procs.get(world_rank)
+        if proc is not None and proc.is_alive:
+            proc.interrupt(exc)
+        # Break every receive already posted for the dead peer.
+        for box in self._mailboxes:
+            box.fail_pending(
+                lambda meta: isinstance(meta, dict)
+                and meta.get("src") == world_rank,
+                RankDeadError(world_rank,
+                              f"peer rank {world_rank} died mid-receive"))
+        # Collectives missing only this rank's contribution can now finish.
+        for key in list(self.collectives):
+            self.maybe_finish_collective(key)
+
     # -- job control ----------------------------------------------------------
     def launch(self, program: Callable[..., Any], *args: Any,
                ranks: Optional[Iterable[int]] = None, **kwargs: Any):
@@ -484,20 +656,48 @@ class World:
         procs = []
         for r in (range(self.nranks) if ranks is None else ranks):
             comm = self.comm_world(r)
-            procs.append(self.engine.process(program(comm, *args, **kwargs),
-                                             name=f"rank{r}"))
+            proc = self.engine.process(program(comm, *args, **kwargs),
+                                       name=f"rank{r}")
+            self.register_rank_process(r, proc)
+            procs.append(proc)
         return procs
 
     def run(self, procs, until: Optional[float] = None):
-        """Run the engine; raise if any rank program failed."""
+        """Run the engine; raise if any rank program failed.
+
+        Distinguishes three abnormal outcomes:
+
+        * :class:`JobKilledError` — the engine was stopped by injection;
+        * a rank program's own exception (re-raised, except rank deaths,
+          which are an *injected* outcome the survivors already absorbed);
+        * :class:`DeadlockError` — the event queue drained while rank
+          programs were still blocked; the message lists each stuck rank
+          and the MPI call it is waiting in.
+        """
         self.engine.run(until=until)
+        if self.engine.stop_reason is not None:
+            raise JobKilledError(self.engine.stop_reason, self.engine.now)
         # Surface real failures before reporting any consequent deadlock.
         for p in procs:
-            if p.triggered and not p.ok:
+            if p.triggered and not p.ok and not isinstance(p.value,
+                                                           RankDeadError):
                 raise p.value
-        for p in procs:
-            if not p.triggered:
-                raise MPIError(
-                    f"deadlock: process {p.name} never completed "
-                    f"(simulated t={self.engine.now:.6f}s)")
+        stuck = [p for p in procs if not p.triggered]
+        if stuck:
+            blocked = []
+            parts = []
+            for p in stuck:
+                rank = next((r for r, proc in self._rank_procs.items()
+                             if proc is p), None)
+                call, since = self.pending_calls.get(rank, ("?", None))
+                blocked.append((p.name, call, since))
+                if since is not None:
+                    parts.append(f"{p.name} blocked in {call!r} "
+                                 f"since t={since:.6f}s")
+                else:
+                    parts.append(f"{p.name} not inside an MPI call")
+            raise DeadlockError(
+                f"deadlock at simulated t={self.engine.now:.6f}s: "
+                f"{len(stuck)} of {len(procs)} rank processes never "
+                f"completed — {'; '.join(parts)}", blocked=blocked)
         return [p.value for p in procs]

@@ -2,10 +2,17 @@
 Jacobi preconditioning."""
 
 from .deflated import coarse_space_from_groups, deflated_cg
-from .krylov import SolveResult, bicgstab, cg, jacobi_preconditioner
+from .krylov import (
+    SolveResult,
+    SolverBreakdown,
+    bicgstab,
+    cg,
+    jacobi_preconditioner,
+)
 
 __all__ = [
     "SolveResult",
+    "SolverBreakdown",
     "bicgstab",
     "cg",
     "coarse_space_from_groups",

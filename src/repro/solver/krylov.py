@@ -13,6 +13,15 @@ count, nnz touched) the performance layer converts into simulated time: a
 solver iteration costs ~ ``nnz`` ops and, in the MPI execution, one
 allreduce per dot product — which is where solver phases block and DLB can
 act.
+
+Robustness: the iteration cores detect *breakdown* — a non-finite residual
+(NaN/inf contamination), a stagnating residual, or an algebraic degeneracy
+(loss of positive-definiteness in CG; a vanishing rho/omega in BiCGStab) —
+and raise :class:`SolverBreakdown`.  The public wrappers recover once by
+restarting from scratch with a fresh Jacobi preconditioner; if the retry
+also breaks down the failure is surfaced *structurally* in
+:attr:`SolveResult.breakdown` instead of propagating NaNs into the flow
+field.
 """
 
 from __future__ import annotations
@@ -23,7 +32,40 @@ from typing import Callable, Optional
 import numpy as np
 from scipy import sparse
 
-__all__ = ["SolveResult", "cg", "bicgstab", "jacobi_preconditioner"]
+__all__ = ["SolveResult", "SolverBreakdown", "cg", "bicgstab",
+           "jacobi_preconditioner"]
+
+#: residual-stagnation default: breakdown if no new best relative residual
+#: appears for this many consecutive iterations
+STAGNATION_WINDOW = 100
+
+FaultHook = Callable[[int, np.ndarray], np.ndarray]
+
+
+class SolverBreakdown(RuntimeError):
+    """An iterative solve cannot continue (NaN/inf, stagnation, degeneracy).
+
+    Attributes
+    ----------
+    reason:
+        Short machine-readable cause (``"nonfinite_residual"``,
+        ``"stagnation"``, ``"indefinite_operator"``, ``"rho_breakdown"``,
+        ``"omega_breakdown"``, ...).
+    iteration:
+        Iteration index at which the breakdown was detected.
+    residuals / matvecs:
+        Work spent before the breakdown, so recovery can account the full
+        cost of a recovered solve.
+    """
+
+    def __init__(self, reason: str, iteration: int,
+                 residuals: Optional[list] = None, matvecs: int = 0):
+        super().__init__(f"solver breakdown at iteration {iteration}: "
+                         f"{reason}")
+        self.reason = reason
+        self.iteration = iteration
+        self.residuals = residuals or []
+        self.matvecs = matvecs
 
 
 @dataclass
@@ -35,6 +77,11 @@ class SolveResult:
     iterations: int
     residuals: list[float] = field(default_factory=list)
     matvecs: int = 0
+    #: breakdown reason when the solve failed structurally (None otherwise)
+    breakdown: Optional[str] = None
+    #: True when a breakdown occurred but the re-preconditioned retry
+    #: produced this (usable) result
+    recovered: bool = False
 
     @property
     def final_residual(self) -> float:
@@ -56,11 +103,32 @@ def jacobi_preconditioner(A: sparse.spmatrix) -> Callable[[np.ndarray],
     return apply
 
 
-def cg(A: sparse.spmatrix, b: np.ndarray,
-       x0: Optional[np.ndarray] = None,
-       tol: float = 1e-8, maxiter: int = 500,
-       M: Optional[Callable[[np.ndarray], np.ndarray]] = None) -> SolveResult:
-    """Preconditioned conjugate gradients for SPD ``A``."""
+class _StagnationGuard:
+    """Tracks the best residual seen; trips after ``window`` flat iters."""
+
+    def __init__(self, window: int):
+        self.window = window
+        self.best = np.inf
+        self.flat = 0
+
+    def check(self, res: float, it: int) -> None:
+        if not np.isfinite(res):
+            raise SolverBreakdown("nonfinite_residual", it)
+        if res < self.best * (1.0 - 1e-12):
+            self.best = res
+            self.flat = 0
+        else:
+            self.flat += 1
+            if self.window > 0 and self.flat >= self.window:
+                raise SolverBreakdown("stagnation", it)
+
+
+def _cg_core(A: sparse.spmatrix, b: np.ndarray,
+             x0: Optional[np.ndarray], tol: float, maxiter: int,
+             M: Optional[Callable[[np.ndarray], np.ndarray]],
+             fault: Optional[FaultHook],
+             stagnation_window: int) -> SolveResult:
+    """CG iteration core; raises :class:`SolverBreakdown` on failure."""
     n = len(b)
     x = np.zeros(n) if x0 is None else x0.astype(np.float64).copy()
     r = b - A @ x
@@ -73,37 +141,46 @@ def cg(A: sparse.spmatrix, b: np.ndarray,
     p = z.copy()
     rz = float(r @ z)
     residuals = [float(np.linalg.norm(r) / norm_b)]
-    for it in range(1, maxiter + 1):
-        Ap = A @ p
-        matvecs += 1
-        pAp = float(p @ Ap)
-        if pAp <= 0:
-            # loss of positive-definiteness (or breakdown)
-            return SolveResult(x=x, converged=False, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
-        alpha = rz / pAp
-        x += alpha * p
-        r -= alpha * Ap
-        res = float(np.linalg.norm(r) / norm_b)
-        residuals.append(res)
-        if res < tol:
-            return SolveResult(x=x, converged=True, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
-        z = M(r) if M is not None else r
-        rz_new = float(r @ z)
-        beta = rz_new / rz
-        rz = rz_new
-        p = z + beta * p
+    guard = _StagnationGuard(stagnation_window)
+    try:
+        for it in range(1, maxiter + 1):
+            Ap = A @ p
+            matvecs += 1
+            pAp = float(p @ Ap)
+            if not np.isfinite(pAp):
+                raise SolverBreakdown("nonfinite_residual", it)
+            if pAp <= 0:
+                raise SolverBreakdown("indefinite_operator", it)
+            alpha = rz / pAp
+            x += alpha * p
+            r -= alpha * Ap
+            if fault is not None:
+                r = fault(it, r)
+            res = float(np.linalg.norm(r) / norm_b)
+            residuals.append(res)
+            guard.check(res, it)
+            if res < tol:
+                return SolveResult(x=x, converged=True, iterations=it,
+                                   residuals=residuals, matvecs=matvecs)
+            z = M(r) if M is not None else r
+            rz_new = float(r @ z)
+            beta = rz_new / rz
+            rz = rz_new
+            p = z + beta * p
+    except SolverBreakdown as exc:
+        exc.residuals = residuals
+        exc.matvecs = matvecs
+        raise
     return SolveResult(x=x, converged=False, iterations=maxiter,
                        residuals=residuals, matvecs=matvecs)
 
 
-def bicgstab(A: sparse.spmatrix, b: np.ndarray,
-             x0: Optional[np.ndarray] = None,
-             tol: float = 1e-8, maxiter: int = 500,
-             M: Optional[Callable[[np.ndarray], np.ndarray]] = None
-             ) -> SolveResult:
-    """BiCGStab for general (nonsymmetric) ``A``."""
+def _bicgstab_core(A: sparse.spmatrix, b: np.ndarray,
+                   x0: Optional[np.ndarray], tol: float, maxiter: int,
+                   M: Optional[Callable[[np.ndarray], np.ndarray]],
+                   fault: Optional[FaultHook],
+                   stagnation_window: int) -> SolveResult:
+    """BiCGStab iteration core; raises :class:`SolverBreakdown` on failure."""
     n = len(b)
     x = np.zeros(n) if x0 is None else x0.astype(np.float64).copy()
     r = b - A @ x
@@ -117,45 +194,121 @@ def bicgstab(A: sparse.spmatrix, b: np.ndarray,
     v = np.zeros(n)
     p = np.zeros(n)
     residuals = [float(np.linalg.norm(r) / norm_b)]
-    for it in range(1, maxiter + 1):
-        rho_new = float(r_hat @ r)
-        if abs(rho_new) < 1e-300:
-            return SolveResult(x=x, converged=False, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
-        beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
-        rho = rho_new
-        p = r + beta * (p - omega * v)
-        phat = M(p) if M is not None else p
-        v = A @ phat
-        matvecs += 1
-        denom = float(r_hat @ v)
-        if abs(denom) < 1e-300:
-            return SolveResult(x=x, converged=False, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
-        alpha = rho / denom
-        s = r - alpha * v
-        if np.linalg.norm(s) / norm_b < tol:
-            x += alpha * phat
-            residuals.append(float(np.linalg.norm(s) / norm_b))
-            return SolveResult(x=x, converged=True, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
-        shat = M(s) if M is not None else s
-        t = A @ shat
-        matvecs += 1
-        tt = float(t @ t)
-        if tt < 1e-300:
-            return SolveResult(x=x, converged=False, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
-        omega = float(t @ s) / tt
-        x += alpha * phat + omega * shat
-        r = s - omega * t
-        res = float(np.linalg.norm(r) / norm_b)
-        residuals.append(res)
-        if res < tol:
-            return SolveResult(x=x, converged=True, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
-        if abs(omega) < 1e-300:
-            return SolveResult(x=x, converged=False, iterations=it,
-                               residuals=residuals, matvecs=matvecs)
+    guard = _StagnationGuard(stagnation_window)
+    try:
+        for it in range(1, maxiter + 1):
+            rho_new = float(r_hat @ r)
+            if not np.isfinite(rho_new):
+                raise SolverBreakdown("nonfinite_residual", it)
+            if abs(rho_new) < 1e-300:
+                raise SolverBreakdown("rho_breakdown", it)
+            beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+            rho = rho_new
+            p = r + beta * (p - omega * v)
+            phat = M(p) if M is not None else p
+            v = A @ phat
+            matvecs += 1
+            denom = float(r_hat @ v)
+            if abs(denom) < 1e-300:
+                raise SolverBreakdown("orthogonality_breakdown", it)
+            alpha = rho / denom
+            s = r - alpha * v
+            if np.linalg.norm(s) / norm_b < tol:
+                x += alpha * phat
+                residuals.append(float(np.linalg.norm(s) / norm_b))
+                return SolveResult(x=x, converged=True, iterations=it,
+                                   residuals=residuals, matvecs=matvecs)
+            shat = M(s) if M is not None else s
+            t = A @ shat
+            matvecs += 1
+            tt = float(t @ t)
+            if not np.isfinite(tt):
+                raise SolverBreakdown("nonfinite_residual", it)
+            if tt < 1e-300:
+                raise SolverBreakdown("t_breakdown", it)
+            omega = float(t @ s) / tt
+            x += alpha * phat + omega * shat
+            r = s - omega * t
+            if fault is not None:
+                r = fault(it, r)
+            res = float(np.linalg.norm(r) / norm_b)
+            residuals.append(res)
+            guard.check(res, it)
+            if res < tol:
+                return SolveResult(x=x, converged=True, iterations=it,
+                                   residuals=residuals, matvecs=matvecs)
+            if abs(omega) < 1e-300:
+                raise SolverBreakdown("omega_breakdown", it)
+    except SolverBreakdown as exc:
+        exc.residuals = residuals
+        exc.matvecs = matvecs
+        raise
     return SolveResult(x=x, converged=False, iterations=maxiter,
                        residuals=residuals, matvecs=matvecs)
+
+
+def _recovering(core, A, b, x0, tol, maxiter, M, fault,
+                retry_on_breakdown, stagnation_window) -> SolveResult:
+    """Run ``core``; on breakdown, retry once re-preconditioned.
+
+    A recovered result accounts the *total* work: iterations, matvecs and
+    residual history of the broken-down attempt plus the retry.
+    """
+    try:
+        return core(A, b, x0, tol, maxiter, M, fault, stagnation_window)
+    except SolverBreakdown as first:
+        if not retry_on_breakdown:
+            return SolveResult(x=np.zeros(len(b)), converged=False,
+                               iterations=first.iteration,
+                               residuals=list(first.residuals),
+                               matvecs=first.matvecs,
+                               breakdown=first.reason)
+        # Recovery policy: restart from zero with a fresh Jacobi
+        # preconditioner and without the transient fault source.
+        try:
+            result = core(A, b, None, tol, maxiter,
+                          jacobi_preconditioner(A), None, stagnation_window)
+        except SolverBreakdown as second:
+            return SolveResult(
+                x=np.zeros(len(b)), converged=False,
+                iterations=first.iteration + second.iteration,
+                residuals=list(first.residuals) + list(second.residuals),
+                matvecs=first.matvecs + second.matvecs,
+                breakdown=f"{first.reason}+{second.reason}")
+        result.recovered = True
+        result.iterations += first.iteration
+        result.matvecs += first.matvecs
+        result.residuals = list(first.residuals) + result.residuals
+        return result
+
+
+def cg(A: sparse.spmatrix, b: np.ndarray,
+       x0: Optional[np.ndarray] = None,
+       tol: float = 1e-8, maxiter: int = 500,
+       M: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+       fault: Optional[FaultHook] = None,
+       retry_on_breakdown: bool = True,
+       stagnation_window: int = STAGNATION_WINDOW) -> SolveResult:
+    """Preconditioned conjugate gradients for SPD ``A``.
+
+    ``fault`` is an optional hook ``r = fault(it, r)`` applied to the
+    residual each iteration (fault injection); breakdown triggers one
+    re-preconditioned retry unless ``retry_on_breakdown`` is False.
+    """
+    return _recovering(_cg_core, A, b, x0, tol, maxiter, M, fault,
+                       retry_on_breakdown, stagnation_window)
+
+
+def bicgstab(A: sparse.spmatrix, b: np.ndarray,
+             x0: Optional[np.ndarray] = None,
+             tol: float = 1e-8, maxiter: int = 500,
+             M: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+             fault: Optional[FaultHook] = None,
+             retry_on_breakdown: bool = True,
+             stagnation_window: int = STAGNATION_WINDOW) -> SolveResult:
+    """BiCGStab for general (nonsymmetric) ``A``.
+
+    Same breakdown/recovery contract as :func:`cg`.
+    """
+    return _recovering(_bicgstab_core, A, b, x0, tol, maxiter, M, fault,
+                       retry_on_breakdown, stagnation_window)

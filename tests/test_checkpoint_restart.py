@@ -1,0 +1,152 @@
+"""Checkpoint/restart: bit-identical resume, kills, and file validation."""
+
+import dataclasses
+
+import pytest
+
+from repro import RunConfig, WorkloadSpec, run_cfpd
+from repro.fault import (
+    Checkpoint,
+    CheckpointError,
+    FaultPlan,
+    FaultSpec,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.smpi import JobKilledError
+
+
+SPEC = WorkloadSpec(generations=3, points_per_ring=6, n_steps=8)
+
+
+def small_config(**kw):
+    base = dict(cluster="thunder", num_nodes=1, nranks=4,
+                threads_per_rank=2, dlb=False, checkpoint_every=4)
+    base.update(kw)
+    return RunConfig(**base)
+
+
+def samples(result, from_step=0):
+    return sorted((s.step, s.phase, s.rank, s.t0, s.t1, s.busy,
+                   s.instructions)
+                  for s in result.phase_log.samples if s.step >= from_step)
+
+
+@pytest.mark.parametrize("mode_kw", [
+    {},                                         # sync
+    {"dlb": True},                              # sync + DLB
+    {"mode": "coupled", "fluid_ranks": 3},      # coupled
+    {"mode": "coupled", "fluid_ranks": 3, "dlb": True},
+])
+def test_restart_is_bit_identical(tmp_path, mode_kw):
+    """run(8 steps) == run to checkpoint at 4 -> restart -> run to 8."""
+    cfg = small_config(**mode_kw)
+    path = str(tmp_path / "ck.pkl")
+    full = run_cfpd(cfg, spec=SPEC)
+    taken = run_cfpd(cfg, spec=SPEC, checkpoint_path=path)
+    assert taken.checkpoints and taken.checkpoints[0][0] == 4
+    # writing the checkpoint must not perturb the run itself
+    assert taken.total_time == full.total_time
+    restarted = run_cfpd(cfg, spec=SPEC, restart_from=path)
+    assert restarted.total_time == full.total_time
+    # the tail is re-simulated, the head replayed from the file: the merged
+    # log must equal the uninterrupted one sample for sample
+    assert samples(restarted) == samples(full)
+
+
+def test_checkpoint_file_roundtrip(tmp_path):
+    cfg = small_config()
+    path = str(tmp_path / "ck.pkl")
+    run_cfpd(cfg, spec=SPEC, checkpoint_path=path)
+    ckpt = load_checkpoint(path)
+    assert ckpt.step == 4
+    assert ckpt.config == cfg
+    assert ckpt.spec == SPEC
+    assert ckpt.written_by_rank == 0
+    assert ckpt.particles["x"].shape[1] == 3
+
+
+def test_restart_refuses_other_config(tmp_path):
+    path = str(tmp_path / "ck.pkl")
+    run_cfpd(small_config(), spec=SPEC, checkpoint_path=path)
+    other = small_config(dlb=True)
+    with pytest.raises(CheckpointError, match="refusing to resume"):
+        run_cfpd(other, spec=SPEC, restart_from=path)
+
+
+def test_restart_refuses_other_spec(tmp_path):
+    path = str(tmp_path / "ck.pkl")
+    cfg = small_config()
+    run_cfpd(cfg, spec=SPEC, checkpoint_path=path)
+    other_spec = dataclasses.replace(SPEC, n_steps=10)
+    with pytest.raises(CheckpointError, match="spec does not match"):
+        run_cfpd(cfg, spec=other_spec, restart_from=path)
+
+
+def test_corrupted_file_is_detected(tmp_path):
+    path = tmp_path / "ck.pkl"
+    path.write_bytes(b"not a checkpoint")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(path))
+    path2 = tmp_path / "ck2.pkl"
+    save_checkpoint(str(path2), Checkpoint(
+        version=99, step=0, sim_time=0.0, config=small_config(), spec=SPEC,
+        phase_samples=[], particles={}, nodal_velocity=None, sgs_norms=[],
+        rng={}, written_by_rank=0))
+    with pytest.raises(CheckpointError, match="version"):
+        load_checkpoint(str(path2))
+
+
+def test_missing_file_is_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(tmp_path / "nope.pkl"))
+
+
+def test_checkpoint_path_without_interval_is_rejected(tmp_path):
+    cfg = small_config(checkpoint_every=0)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        run_cfpd(cfg, spec=SPEC, checkpoint_path=str(tmp_path / "ck.pkl"))
+
+
+def test_job_kill_then_restart_equals_uninterrupted(tmp_path):
+    """Power loss mid-run: the checkpoint survives, the restart finishes
+    the job, and the combined timeline equals the uninterrupted run."""
+    cfg = small_config()
+    path = str(tmp_path / "ck.pkl")
+    full = run_cfpd(cfg, spec=SPEC)
+    ckpt_time = full.total_time * 0.55   # after the step-4 checkpoint
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="job_kill", time=ckpt_time, note="power loss"),))
+    with pytest.raises(JobKilledError, match="power loss"):
+        run_cfpd(cfg, spec=SPEC, fault_plan=plan, checkpoint_path=path)
+    ckpt = load_checkpoint(path)             # written before the kill
+    assert ckpt.step == 4
+    restarted = run_cfpd(cfg, spec=SPEC, restart_from=path)
+    assert restarted.total_time == full.total_time
+    assert samples(restarted) == samples(full)
+
+
+def test_job_killed_error_carries_time_and_reason(tmp_path):
+    cfg = small_config()
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="job_kill", time=1e-4, note="wall clock"),))
+    with pytest.raises(JobKilledError) as err:
+        run_cfpd(cfg, spec=SPEC, fault_plan=plan)
+    assert err.value.reason == "wall clock"
+    assert err.value.time >= 1e-4
+
+
+def test_restart_preserves_faults_after_the_cut(tmp_path):
+    """Faults scheduled after the checkpoint fire on the restarted run;
+    faults before it are history and are not re-injected."""
+    cfg = small_config()
+    path = str(tmp_path / "ck.pkl")
+    base = run_cfpd(cfg, spec=SPEC, checkpoint_path=path)
+    cut = base.checkpoints[0][1]
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="straggler", time=cut / 2, rank=0, duration=1e-4),
+        FaultSpec(kind="straggler", time=cut * 1.5, rank=1, duration=1e-4),
+    ))
+    restarted = run_cfpd(cfg, spec=SPEC, fault_plan=plan, restart_from=path)
+    fired = [(e.kind, e.rank) for e in restarted.faults.events]
+    assert fired == [("straggler", 1)]
