@@ -78,6 +78,11 @@ class DLB:
         self._borrowed: Dict[int, int] = {}      # rank -> extra cores held
         self._in_mpi: Dict[int, bool] = {}
         self._dead: set[int] = set()
+        # node -> attached ranks in attach order (the iteration order the
+        # lend/feed scans used when filtering ``self.teams`` by node), and
+        # rank -> node, so the per-event scans skip the world lookups.
+        self._node_teams: Dict[int, list] = {}
+        self._team_node: Dict[int, int] = {}
         self.stats = DLBStats()
         if enabled:
             world.hooks.register(self)
@@ -90,6 +95,8 @@ class DLB:
         self._borrowed[rank] = 0
         self._in_mpi[rank] = False
         node = self.world.node_of(rank)
+        self._team_node[rank] = node
+        self._node_teams.setdefault(node, []).append(rank)
         self._pool.setdefault(node, 0)
         if self.enabled:
             team.listener = self
@@ -103,7 +110,7 @@ class DLB:
         team = self.teams[rank]
         if team.is_running and team.active_workers > 0:
             return  # mid-graph blocking: keep the cores (rare in fork-join)
-        node = self.world.node_of(rank)
+        node = self._team_node[rank]
         own_available = team.base_threads - self._lent[rank]
         if self.policy == "lewi_half" and own_available > 1:
             # conservative variant: keep half of the own cores so reclaim
@@ -131,7 +138,7 @@ class DLB:
         need = self._lent[rank]
         if need <= 0:
             return
-        node = self.world.node_of(rank)
+        node = self._team_node[rank]
         taken = min(need, self._pool[node])
         self._pool[node] -= taken
         need -= taken
@@ -160,7 +167,7 @@ class DLB:
         if rank not in self.teams or self._in_mpi.get(rank) \
                 or rank in self._dead:
             return
-        node = self.world.node_of(rank)
+        node = self._team_node[rank]
         self._grant(node, rank)
 
     def on_team_idle(self, team: Team) -> None:
@@ -171,7 +178,7 @@ class DLB:
         extra = self._borrowed[rank]
         if extra <= 0:
             return
-        node = self.world.node_of(rank)
+        node = self._team_node[rank]
         self._borrowed[rank] = 0
         team.set_capacity(team.base_threads - self._lent[rank])
         self._pool[node] += extra
@@ -189,7 +196,7 @@ class DLB:
             return
         self._dead.add(rank)
         team = self.teams[rank]
-        node = self.world.node_of(rank)
+        node = self._team_node[rank]
         inherited = team.capacity
         if inherited > 0:
             self._pool[node] = self._pool.get(node, 0) + inherited
@@ -213,9 +220,8 @@ class DLB:
 
     # -- internals --------------------------------------------------------
     def _borrowers_on(self, node: int):
-        return [r for r in self.teams
-                if self.world.node_of(r) == node and self._borrowed[r] > 0
-                and r not in self._dead]
+        return [r for r in self._node_teams.get(node, ())
+                if self._borrowed[r] > 0 and r not in self._dead]
 
     def _grant(self, node: int, rank: int) -> None:
         """Give pool cores to ``rank``'s team, bounded by its appetite."""
@@ -237,9 +243,8 @@ class DLB:
 
     def _feed(self, node: int) -> None:
         """Distribute pooled cores among currently hungry teams on ``node``."""
-        hungry = [r for r in self.teams
-                  if self.world.node_of(r) == node
-                  and not self._in_mpi.get(r)
+        hungry = [r for r in self._node_teams.get(node, ())
+                  if not self._in_mpi.get(r)
                   and r not in self._dead
                   and self.teams[r].wants_cores]
         for rank in hungry:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
 from ..machine import CoreModel
+from ..perf import toggles as _perf_toggles
 from ..sim import Engine, Event
 from .taskgraph import Task, TaskGraph
 
@@ -124,6 +125,7 @@ class Team:
         self._done: Optional[Event] = None
         self._stats: Optional[GraphStats] = None
         self._hungry_notified = False
+        self._fast = _perf_toggles.TOGGLES.runtime_fast_path
 
     # -- capacity (the DLB surface) -----------------------------------------
     @property
@@ -149,9 +151,12 @@ class Team:
     @property
     def wants_cores(self) -> bool:
         """Whether extra capacity would be used right now."""
-        return (self._graph is not None
-                and self._active >= self._max_workers
-                and self._runnable_index() is not None)
+        if self._graph is None or self._active < self._max_workers:
+            return False
+        if not self._held_refs:
+            # no mutexes held: any ready task is runnable
+            return bool(self._ready)
+        return self._runnable_index() is not None
 
     def set_capacity(self, n: int) -> None:
         """Change the worker ceiling; growth dispatches immediately, shrink
@@ -208,23 +213,38 @@ class Team:
         locality across a chunked traversal); ``lifo`` the newest
         (depth-first, cache-hot dependents first).
         """
+        held = self._held_refs
+        ready = self._ready
         if self.scheduler == "fifo":
-            for i, task in enumerate(self._ready):
-                if not (task.mutex_refs & self._held_refs):
+            if not held:
+                return 0 if ready else None
+            for i, task in enumerate(ready):
+                if task.mutex_refs.isdisjoint(held):
                     return i
             return None
         if self.scheduler == "lifo":
-            for i in range(len(self._ready) - 1, -1, -1):
-                if not (self._ready[i].mutex_refs & self._held_refs):
+            if not held:
+                return len(ready) - 1 if ready else None
+            for i in range(len(ready) - 1, -1, -1):
+                if ready[i].mutex_refs.isdisjoint(held):
                     return i
             return None
         best = None
         best_instr = -1.0
-        for i, task in enumerate(self._ready):
-            if not (task.mutex_refs & self._held_refs):
-                if task.work.instructions > best_instr:
+        if not held:
+            # no mutexes held: plain argmax, skip the per-task set test
+            for i, task in enumerate(ready):
+                if task._instr > best_instr:
                     best = i
-                    best_instr = task.work.instructions
+                    best_instr = task._instr
+            return best
+        for i, task in enumerate(ready):
+            # instruction test first: it is cheaper than the set test and
+            # the update condition is conjunctive either way
+            instr = task._instr
+            if instr > best_instr and task.mutex_refs.isdisjoint(held):
+                best = i
+                best_instr = instr
         return best
 
     def _dispatch(self) -> None:
@@ -234,13 +254,21 @@ class Team:
                 break
             task = self._ready[idx]
             del self._ready[idx]
-            self._held_refs |= task.mutex_refs
+            if task.mutex_refs:
+                self._held_refs |= task.mutex_refs
             self._active += 1
             if self._stats is not None:
                 self._stats.max_concurrency = max(
                     self._stats.max_concurrency, self._active)
-            self.engine.process(self._worker(task),
-                                name=f"{self.name}.{task.label}")
+            if self._fast:
+                # Callback-based execution: posts the same bootstrap event a
+                # Process would, so the (time, seq) trajectory is identical —
+                # minus the generator frame, the Process object and its
+                # completion event.
+                self.engine.defer(self._start_task, task)
+            else:
+                self.engine.process(self._worker(task),
+                                    name=f"{self.name}.{task.label}")
         # Appetite signalling for DLB: hungry if capacity-bound work remains.
         if self.listener is not None and self._graph is not None:
             if self._active >= self._max_workers and self._ready:
@@ -248,21 +276,38 @@ class Team:
                     self._hungry_notified = True
                     self.listener.on_team_hungry(self)
 
-    def _worker(self, task: Task):
+    def _start_task(self, task: Task) -> None:
+        """Begin executing ``task`` (fast path; runs at bootstrap-event pop,
+        exactly where a worker generator would run up to its first yield)."""
         t0 = self.engine.now
-        exec_seconds = self.core.seconds(task.work) * self.slowdown
-        duration = exec_seconds + self.task_overhead_s
-        yield self.engine.timeout(duration)
+        core = self.core
+        if task._dur_core is core:
+            base = task._dur
+        else:
+            # Task graphs are re-executed every simulated time step with the
+            # same WorkSpec on the same core: compute the nominal duration
+            # once and reuse the identical float thereafter.
+            base = core.seconds(task.work)
+            task._dur = base
+            task._dur_core = core
+        exec_seconds = base * self.slowdown
+        self.engine.call_later(exec_seconds + self.task_overhead_s,
+                               self._finish_task, task, t0, exec_seconds)
+
+    def _finish_task(self, task: Task, t0: float, exec_seconds: float) -> None:
+        """Task completion bookkeeping (fast path; runs at timeout pop,
+        exactly where a worker generator would resume)."""
         t1 = self.engine.now
         stats = self._stats
         assert stats is not None
         stats.tasks_run += 1
-        stats.instructions += task.work.instructions
+        stats.instructions += task._instr
         stats.busy_seconds += exec_seconds
         stats.overhead_seconds += self.task_overhead_s
-        if self.recorder is not None and task.work.instructions > 0:
+        if self.recorder is not None and task._instr > 0:
             self.recorder.record(self.rank, "task", task.label, t0, t1)
-        self._held_refs -= task.mutex_refs
+        if task.mutex_refs:
+            self._held_refs -= task.mutex_refs
         self._active -= 1
         self._remaining -= 1
         graph = self._graph
@@ -285,3 +330,12 @@ class Team:
         else:
             self._hungry_notified = False
             self._dispatch()
+
+    def _worker(self, task: Task):
+        # Baseline (pre-PR-2) generator path, kept for before/after
+        # benchmarking; the fast path above is event-for-event equivalent.
+        t0 = self.engine.now
+        exec_seconds = self.core.seconds(task.work) * self.slowdown
+        duration = exec_seconds + self.task_overhead_s
+        yield self.engine.timeout(duration)
+        self._finish_task(task, t0, exec_seconds)

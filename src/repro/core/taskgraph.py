@@ -70,6 +70,18 @@ class Task:
     # Scheduling state (owned by the graph/runtime):
     n_preds: int = 0
     successors: list[int] = field(default_factory=list)
+    # Cached nominal duration on a given core (owned by Team: graphs are
+    # re-executed every time step with an immutable WorkSpec, so the float
+    # is computed once per (task, core) and reused bit-for-bit).
+    _dur_core: Optional[object] = field(default=None, repr=False,
+                                        compare=False)
+    _dur: float = field(default=0.0, repr=False, compare=False)
+    # Cached work.instructions (read once per task per lpt scheduler scan;
+    # WorkSpec is immutable, so the copy can never go stale).
+    _instr: float = field(default=0.0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._instr = self.work.instructions
 
 
 class TaskGraph:

@@ -28,9 +28,64 @@ from scipy import sparse
 
 from ..mesh.elements import ElementType, NODES_PER_TYPE
 from ..mesh.mesh import Mesh
+from ..perf import toggles as _perf_toggles
 from .shape import reference_element
 
 __all__ = ["AssemblyResult", "assemble_operator", "element_work_meters"]
+
+
+@dataclass
+class _CSRPattern:
+    """Cached sparsity pattern of one (mesh, element set) assembly.
+
+    ``slot[k]`` is the CSR data index receiving the ``k``-th scattered COO
+    value (in the deterministic per-element-type concatenation order of
+    :func:`assemble_operator`), so a repeated assembly reduces to one
+    ``np.bincount`` scatter.  ``indices``/``indptr`` are shared between all
+    matrices assembled from this pattern — treat them as read-only.
+
+    The cache assumes the mesh geometry/connectivity is static (the paper's
+    case: one airway mesh per run), like ``Mesh.centroids()``.
+    """
+
+    slot: np.ndarray       # (ncoo,) data index per scattered value
+    nval: int              # expected ncoo (consistency check)
+    nnz: int               # stored entries of the CSR matrix
+    indices: np.ndarray    # (nnz,) CSR column indices
+    indptr: np.ndarray     # (n+1,) CSR row pointers
+
+
+def _build_csr_pattern(rows: np.ndarray, cols: np.ndarray, vals: np.ndarray,
+                       n: int) -> tuple["sparse.csr_matrix", _CSRPattern]:
+    """Deduplicate COO triplets into a CSR matrix plus its reusable pattern.
+
+    Deterministic replacement for ``coo_matrix(...).tocsr()``: duplicates
+    are summed in lexicographic (row, col, scatter-order) order via a stable
+    sort, so repeated assemblies through the returned pattern are
+    bit-identical to this first one.  (SciPy's ``tocsr`` sums duplicates in
+    an implementation-defined order; values may differ from it in the last
+    ulp, which every consumer tolerates — simulated-time results depend only
+    on the sparsity *structure*, which matches exactly.)
+    """
+    order = np.lexsort((cols, rows))
+    rs, cs = rows[order], cols[order]
+    newgrp = np.empty(len(rs), dtype=bool)
+    newgrp[0] = True
+    np.logical_or(rs[1:] != rs[:-1], cs[1:] != cs[:-1], out=newgrp[1:])
+    slot_sorted = np.cumsum(newgrp) - 1
+    slot = np.empty(len(rs), dtype=np.int64)
+    slot[order] = slot_sorted
+    nnz = int(slot_sorted[-1]) + 1
+    data = np.bincount(slot, weights=vals, minlength=nnz)
+    indices = cs[newgrp]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rs[newgrp], minlength=n), out=indptr[1:])
+    matrix = sparse.csr_matrix((data, indices, indptr), shape=(n, n))
+    # keep the (possibly dtype-canonicalized) arrays scipy settled on, so
+    # later constructions from the pattern never re-cast
+    pattern = _CSRPattern(slot=slot, nval=len(vals), nnz=nnz,
+                          indices=matrix.indices, indptr=matrix.indptr)
+    return matrix, pattern
 
 
 @dataclass
@@ -101,7 +156,18 @@ def assemble_operator(mesh: Mesh,
     rhs = np.zeros(n)
     scatter = np.zeros(len(element_ids), dtype=np.int64)
     elem_nn = np.zeros(len(element_ids), dtype=np.int32)
-    local_pos = {int(e): i for i, e in enumerate(element_ids)}
+    # vectorized element-id -> local-position map (searchsorted over the
+    # argsorted ids; replaces a python dict + np.fromiter per type)
+    id_order = np.argsort(element_ids, kind="stable")
+    sorted_ids = element_ids[id_order]
+
+    pattern: Optional[_CSRPattern] = None
+    pattern_cache: Optional[dict] = None
+    pattern_key = None
+    if _perf_toggles.TOGGLES.assembly_pattern_cache:
+        pattern_cache = mesh.__dict__.setdefault("_asm_pattern_cache", {})
+        pattern_key = (n, element_ids.tobytes())
+        pattern = pattern_cache.get(pattern_key)
 
     etype_arr = mesh.elem_types[element_ids]
     for etype in ElementType:
@@ -133,24 +199,43 @@ def assemble_operator(mesh: Mesh,
                 uga = ugb  # same contraction for the 'a' index
                 Ke += np.einsum("e,eqa,eqb,eq->eab", tau, uga, ugb, dvol)
         # scatter
-        rows = np.repeat(conn, nn, axis=1).ravel()
-        cols = np.tile(conn, (1, nn)).ravel()
-        rows_all.append(rows)
-        cols_all.append(cols)
+        if pattern is None:
+            # COO triplets only needed when no cached sparsity pattern
+            # exists for this (mesh, element set)
+            rows = np.repeat(conn, nn, axis=1).ravel()
+            cols = np.tile(conn, (1, nn)).ravel()
+            rows_all.append(rows)
+            cols_all.append(cols)
         vals_all.append(Ke.ravel())
         if source != 0.0:
             fe = source * np.einsum("qa,eq->ea", ref.N, dvol)
             np.add.at(rhs, conn.ravel(), fe.ravel())
-        pos = np.fromiter((local_pos[int(e)] for e in eids), dtype=np.int64,
-                          count=ne)
+        pos = id_order[np.searchsorted(sorted_ids, eids)]
         scatter[pos] = nn * nn + nn   # matrix entries + rhs entries
         elem_nn[pos] = nn
 
-    if rows_all:
-        matrix = sparse.coo_matrix(
-            (np.concatenate(vals_all),
-             (np.concatenate(rows_all), np.concatenate(cols_all))),
-            shape=(n, n)).tocsr()
+    if pattern is not None:
+        vals = np.concatenate(vals_all) if vals_all else np.zeros(0)
+        if len(vals) != pattern.nval:
+            raise ValueError(
+                "cached assembly pattern is stale: the mesh connectivity "
+                "changed after the first assembly (the pattern cache "
+                "assumes a static mesh)")
+        data = np.bincount(pattern.slot, weights=vals,
+                           minlength=pattern.nnz)
+        matrix = sparse.csr_matrix(
+            (data, pattern.indices, pattern.indptr), shape=(n, n))
+    elif rows_all:
+        if pattern_cache is not None:
+            matrix, pattern = _build_csr_pattern(
+                np.concatenate(rows_all), np.concatenate(cols_all),
+                np.concatenate(vals_all), n)
+            pattern_cache[pattern_key] = pattern
+        else:
+            matrix = sparse.coo_matrix(
+                (np.concatenate(vals_all),
+                 (np.concatenate(rows_all), np.concatenate(cols_all))),
+                shape=(n, n)).tocsr()
     else:
         matrix = sparse.csr_matrix((n, n))
     return AssemblyResult(matrix=matrix, rhs=rhs, scatter_counts=scatter,

@@ -18,6 +18,7 @@ import numpy as np
 from scipy.spatial import cKDTree
 
 from ..mesh.generator import AirwayMesh
+from ..perf import toggles as _perf_toggles
 from .flowfield import AirwayFlow
 from .forces import (
     FluidProperties,
@@ -213,6 +214,12 @@ class ElementLocator:
         self.mesh = airway.mesh
         self._tree = cKDTree(self.mesh.centroids())
         self.labels = labels
+        self._fast = _perf_toggles.TOGGLES.locator_active_only
+        # Per-particle element cache for population-level queries: a frozen
+        # (deposited/escaped) particle never moves again, so its element is
+        # located once and reused every subsequent step.
+        self._cached_eids = np.zeros(0, dtype=np.intp)
+        self._cached_valid = np.zeros(0, dtype=bool)
 
     def elements_of(self, points: np.ndarray) -> np.ndarray:
         """Nearest element id for each point."""
@@ -220,6 +227,46 @@ class ElementLocator:
             return np.zeros(0, dtype=np.int64)
         _, eids = self._tree.query(points)
         return eids
+
+    def elements_of_state(self, state: "ParticleState") -> np.ndarray:
+        """Nearest element id for each particle of ``state`` (any status).
+
+        Unlike :meth:`elements_of`, this only walks the KD-tree for the
+        STATUS_ACTIVE particles (plus newly frozen ones, once): deposited
+        and escaped particles are stationary, so their cached element
+        assignment from the step they froze stays valid forever.
+        """
+        eids, _ = self._locate_state(state)
+        return eids.copy()
+
+    def _locate_state(self, state: "ParticleState"):
+        """(element ids view into the cache, active mask) for ``state``.
+
+        The returned array aliases the internal cache — callers must not
+        mutate it and must copy before handing it out.
+        """
+        n = state.n
+        active = state.status == STATUS_ACTIVE
+        if not self._fast:
+            return (self.elements_of(state.x).astype(np.intp, copy=False),
+                    active)
+        if len(self._cached_eids) < n:
+            # population grew (repeated injections): extend the cache
+            grow = n - len(self._cached_eids)
+            self._cached_eids = np.concatenate(
+                [self._cached_eids, np.zeros(grow, dtype=np.intp)])
+            self._cached_valid = np.concatenate(
+                [self._cached_valid, np.zeros(grow, dtype=bool)])
+        eids = self._cached_eids[:n]
+        valid = self._cached_valid[:n]
+        need = active | ~valid
+        if need.any():
+            _, found = self._tree.query(state.x[need])
+            eids[need] = found
+            # frozen particles just located stay cached; active ones move
+            # and must be re-queried next call
+            valid[need] = ~active[need]
+        return eids, active
 
     def owners_of(self, points: np.ndarray) -> np.ndarray:
         """Owning MPI rank for each point (requires ``labels``)."""
@@ -230,4 +277,17 @@ class ElementLocator:
     def rank_histogram(self, points: np.ndarray, nranks: int) -> np.ndarray:
         """Particle count per rank."""
         owners = self.owners_of(points)
+        return np.bincount(owners, minlength=nranks)
+
+    def rank_histogram_state(self, state: "ParticleState",
+                             nranks: int) -> np.ndarray:
+        """Active-particle count per owning rank (requires ``labels``).
+
+        Equivalent to ``rank_histogram(state.x[state.active], nranks)`` but
+        KD-tree queries are restricted to the active particles.
+        """
+        if self.labels is None:
+            raise ValueError("locator built without a rank partition")
+        eids, active = self._locate_state(state)
+        owners = self.labels[eids[active]]
         return np.bincount(owners, minlength=nranks)

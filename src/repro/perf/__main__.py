@@ -1,0 +1,7 @@
+"""``python -m repro.perf`` delegates to the benchmark runner."""
+
+import sys
+
+from .bench import main
+
+sys.exit(main())

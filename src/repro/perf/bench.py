@@ -1,0 +1,408 @@
+"""Benchmark runner: the BENCH JSON trajectory of the performance layer.
+
+Runs representative workloads twice — once with every fast path disabled
+(:func:`repro.perf.toggles.baseline`, the pre-PR-2 code paths, all kept in
+the tree for exactly this purpose) and once with the current defaults — and
+emits a machine-readable before/after report.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.perf.bench                 # full run
+    PYTHONPATH=src python -m repro.perf.bench --quick         # CI smoke
+    PYTHONPATH=src python -m repro.perf.bench --compare BENCH_pr2.json
+
+``--compare`` exits non-zero when any benchmark is more than
+``SLOWDOWN_TOLERANCE`` times slower than the committed baseline report —
+the CI perf-regression gate.  Quick mode runs the *same* workload sizes
+with fewer repeats and fewer end-to-end variants, so its timings remain
+comparable (within the 2x gate) to a committed full-mode report.
+
+Every end-to-end benchmark also records a digest of the simulated-time
+results under both toggle states: the report itself re-checks the PR's
+bit-identicality contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable, Optional
+
+__all__ = ["run_benchmarks", "main", "SLOWDOWN_TOLERANCE"]
+
+#: --compare fails when current/baseline exceeds this per benchmark
+SLOWDOWN_TOLERANCE = 2.0
+
+_SCHEMA = "repro-bench-v1"
+_DEFAULT_OUT = "BENCH_pr2.json"
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Smallest wall-clock of ``repeats`` calls (and the last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+# -- workload pieces ---------------------------------------------------------
+
+def _engine_events_workload() -> int:
+    """DES micro-benchmark with the substrate's real event mix: mostly
+    already-triggered events posted at the current time (the now-queue
+    case — task/collective completions), plus periodic timeouts that
+    advance the clock through the heap."""
+    from ..sim import Engine
+
+    eng = Engine()
+    n_procs, n_rounds = 50, 200
+
+    def proc(i):
+        for r in range(n_rounds):
+            if r % 4 == 3:
+                yield eng.timeout(((i + r) % 7 + 1) * 1e-6)
+            else:
+                ev = eng.event()
+                ev.succeed(r)
+                yield ev
+
+    for i in range(n_procs):
+        eng.process(proc(i))
+    eng.run()
+    return eng.events_processed
+
+
+def _collectives_workload() -> float:
+    """Simulated-MPI benchmark: allreduce/barrier rounds over 32 ranks."""
+    from ..machine import marenostrum4
+    from ..sim import Engine
+    from ..smpi import World
+
+    eng = Engine()
+    world = World(eng, marenostrum4(), 32, mapping="block")
+    n_rounds = 30
+
+    def program(comm):
+        total = 0.0
+        for r in range(n_rounds):
+            total = yield from comm.allreduce(float(comm.rank + r))
+            yield from comm.barrier()
+        return total
+
+    results = world.run(world.launch(program))
+    return float(results[0])
+
+
+def _workload():
+    from ..app.workload import WorkloadSpec, get_workload
+
+    return get_workload(WorkloadSpec())
+
+
+def _assembly_workload() -> str:
+    """Repeated operator assembly on the default airway mesh.
+
+    The digest covers what the simulated-time layer consumes — the sparsity
+    structure and the per-element work meters — which are exact across
+    toggle states.  The matrix *values* agree only to the last ulp
+    (duplicate-summation order differs from SciPy's ``tocsr``; asserted at
+    1e-12 in ``tests/test_perf.py``), so they stay out of the digest.
+    """
+    from ..fem import assemble_operator
+
+    wl = _workload()
+    digest = hashlib.sha256()
+    for _ in range(5):
+        res = assemble_operator(wl.mesh, kappa=1.9e-5,
+                                mass_coeff=1.15 / wl.spec.dt,
+                                velocity=wl.nodal_velocity)
+        digest.update(res.matrix.indices.tobytes())
+        digest.update(res.matrix.indptr.tobytes())
+        digest.update(res.scatter_counts.tobytes())
+        digest.update(res.element_nodes.tobytes())
+    return digest.hexdigest()
+
+
+def _sgs_workload() -> float:
+    """Repeated SGS sweeps (element-local kernel, no scatter)."""
+    import numpy as np
+
+    from ..fem import SGSState, update_sgs
+
+    wl = _workload()
+    state = SGSState.zeros(wl.mesh.nelem)
+    for _ in range(10):
+        update_sgs(wl.mesh, state, wl.nodal_velocity,
+                   viscosity=1.9e-5, dt=wl.spec.dt)
+    return float(np.linalg.norm(state.values))
+
+
+#: precomputed (positions, status) per step of a depositing trajectory;
+#: built once by :func:`_particle_snapshots` so the timed benchmark covers
+#: only the element-location work, not the Newmark integration
+_PARTICLE_SNAPSHOTS: Optional[list] = None
+
+
+def _particle_snapshots() -> list:
+    global _PARTICLE_SNAPSHOTS
+    if _PARTICLE_SNAPSHOTS is None:
+        from ..particles import (FluidProperties, NewmarkTracker,
+                                 ParticleProperties, ParticleState,
+                                 inject_at_inlet)
+
+        wl = _workload()
+        tracker = NewmarkTracker(wl.flow, particles=ParticleProperties(),
+                                 fluid=FluidProperties())
+        state = ParticleState.empty()
+        state.extend(inject_at_inlet(wl.airway, 20 * wl.n_particles, seed=7))
+        snaps = []
+        # coarser dt than the simulation so a realistic fraction of the
+        # population deposits over the trajectory — the regime the
+        # active-only locator fast path targets
+        for _ in range(60):
+            tracker.step(state, 1e-3)
+            snaps.append((state.x.copy(), state.status.copy()))
+        _PARTICLE_SNAPSHOTS = snaps
+    return _PARTICLE_SNAPSHOTS
+
+
+def _particles_workload() -> str:
+    """Per-step rank-ownership histograms over a depositing trajectory
+    (the driver's particle load metering; KD-tree element location)."""
+    import numpy as np
+
+    from ..particles import ElementLocator, ParticleState
+
+    wl = _workload()
+    nranks = 96
+    labels = wl.decomposition(nranks).labels
+    snaps = _particle_snapshots()
+    locator = ElementLocator(wl.airway, labels)
+    digest = hashlib.sha256()
+    z = np.zeros((0, 3))
+    state = ParticleState(x=snaps[0][0], v=z, a=z, status=snaps[0][1])
+    for _ in range(4):
+        for x, status in snaps:
+            # the locator reads only positions and status
+            state.x = x
+            state.status = status
+            hist = locator.rank_histogram_state(state, nranks)
+            digest.update(hist.tobytes())
+    return digest.hexdigest()
+
+
+def _run_cfpd_digest(**config_kwargs) -> str:
+    """End-to-end run; digest covers every simulated-time result."""
+    from ..app.driver import RunConfig, run_cfpd
+
+    res = run_cfpd(RunConfig(**config_kwargs))
+    h = hashlib.sha256()
+    for s in res.phase_log.samples:
+        h.update(repr((s.step, s.rank, s.phase,
+                       round(s.t0, 12), round(s.t1, 12))).encode())
+    h.update(repr(round(res.total_time, 12)).encode())
+    h.update(repr(res.deposition).encode())
+    h.update(repr(res.solver_info).encode())
+    return h.hexdigest()
+
+
+# -- benchmark table ---------------------------------------------------------
+
+def _benchmark_table(quick: bool) -> list[dict]:
+    """(name, kind, callable, throughput units) rows for this mode."""
+    table = [
+        {"name": "engine_events", "kind": "micro",
+         "fn": _engine_events_workload, "units": "events"},
+        {"name": "collectives", "kind": "micro",
+         "fn": _collectives_workload, "units": None},
+        {"name": "assembly", "kind": "kernel",
+         "fn": _assembly_workload, "units": "elements",
+         "unit_count": lambda: 5 * _workload().mesh.nelem},
+        {"name": "sgs", "kind": "kernel",
+         "fn": _sgs_workload, "units": "elements",
+         "unit_count": lambda: 10 * _workload().mesh.nelem},
+        {"name": "particle_location", "kind": "kernel",
+         "fn": _particles_workload, "units": "particles",
+         "setup": _particle_snapshots,
+         "unit_count": lambda: 4 * 60 * 20 * _workload().n_particles},
+        {"name": "run_cfpd_sync", "kind": "end_to_end",
+         "fn": lambda: _run_cfpd_digest(), "units": None},
+        {"name": "run_cfpd_coupled", "kind": "end_to_end",
+         "fn": lambda: _run_cfpd_digest(mode="coupled", fluid_ranks=64),
+         "units": None},
+    ]
+    if not quick:
+        table += [
+            {"name": "run_cfpd_sync_dlb", "kind": "end_to_end",
+             "fn": lambda: _run_cfpd_digest(dlb=True), "units": None},
+            {"name": "run_cfpd_coupled_dlb", "kind": "end_to_end",
+             "fn": lambda: _run_cfpd_digest(mode="coupled", fluid_ranks=64,
+                                            dlb=True),
+             "units": None},
+        ]
+    return table
+
+
+def _env_info() -> dict:
+    import numpy
+    import scipy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
+                   verbose: bool = True) -> dict:
+    """Run the before/after benchmark suite; returns the report dict.
+
+    ``quick`` keeps workload sizes identical but uses one repeat and skips
+    the DLB end-to-end variants (the CI smoke configuration); ``repeats``
+    overrides the per-benchmark repeat count (full default: 3, best-of).
+    """
+    from .toggles import baseline
+
+    if repeats is None:
+        repeats = 1 if quick else 3
+    benchmarks = []
+    for row in _benchmark_table(quick):
+        name, fn = row["name"], row["fn"]
+        if verbose:
+            print(f"[bench] {name} ...", flush=True)
+        setup = row.get("setup")
+        if setup is not None:
+            setup()  # toggle-neutral precompute, kept out of the timings
+        with baseline():
+            before_s, before_res = _best_of(fn, repeats)
+        after_s, after_res = _best_of(fn, repeats)
+        entry = {
+            "name": name,
+            "kind": row["kind"],
+            "before_seconds": round(before_s, 6),
+            "after_seconds": round(after_s, 6),
+            "speedup": round(before_s / after_s, 3) if after_s > 0 else None,
+        }
+        if row.get("units"):
+            # engine_events reports its own processed-event count; kernels
+            # declare their unit counts in the table
+            count = (float(after_res) if name == "engine_events"
+                     else float(row["unit_count"]()))
+            entry["throughput"] = {
+                "units": row["units"],
+                "count": count,
+                "before_per_second": round(count / before_s, 1),
+                "after_per_second": round(count / after_s, 1),
+            }
+        if row["kind"] in ("kernel", "end_to_end") and isinstance(
+                before_res, str):
+            entry["simulated_digest"] = {
+                "before": before_res,
+                "after": after_res,
+                "identical": before_res == after_res,
+            }
+        benchmarks.append(entry)
+        if verbose:
+            print(f"[bench]   before={before_s:.3f}s after={after_s:.3f}s "
+                  f"speedup={entry['speedup']}x", flush=True)
+    digests = [b["simulated_digest"]["identical"] for b in benchmarks
+               if "simulated_digest" in b]
+    default_e2e = next((b for b in benchmarks
+                        if b["name"] == "run_cfpd_sync"), None)
+    report = {
+        "schema": _SCHEMA,
+        "generated_by": "python -m repro.perf.bench"
+                        + (" --quick" if quick else ""),
+        "mode": "quick" if quick else "full",
+        "repeats": repeats,
+        "env": _env_info(),
+        "benchmarks": benchmarks,
+        "summary": {
+            "end_to_end_default_speedup":
+                default_e2e["speedup"] if default_e2e else None,
+            "all_simulated_results_identical": all(digests) if digests
+            else None,
+        },
+    }
+    return report
+
+
+def compare_reports(current: dict, reference: dict,
+                    tolerance: float = SLOWDOWN_TOLERANCE) -> list[str]:
+    """Regression check: current after-times vs a reference report.
+
+    Returns human-readable failure lines (empty when everything is within
+    ``tolerance``); benchmarks missing from either report are skipped.
+    """
+    ref_by_name = {b["name"]: b for b in reference.get("benchmarks", [])}
+    failures = []
+    for b in current.get("benchmarks", []):
+        ref = ref_by_name.get(b["name"])
+        if ref is None:
+            continue
+        cur_s, ref_s = b["after_seconds"], ref["after_seconds"]
+        if ref_s > 0 and cur_s > tolerance * ref_s:
+            failures.append(
+                f"{b['name']}: {cur_s:.3f}s vs reference {ref_s:.3f}s "
+                f"({cur_s / ref_s:.2f}x > {tolerance}x tolerance)")
+    return failures
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="Before/after benchmark suite (emits BENCH JSON).")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 1 repeat, fewer end-to-end "
+                             "variants, same workload sizes")
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help=f"output JSON path (default: {_DEFAULT_OUT}; "
+                             "'-' for stdout only)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repeat count per measurement (best-of)")
+    parser.add_argument("--compare", metavar="BASELINE_JSON", default=None,
+                        help="fail (exit 1) if any benchmark is "
+                             f">{SLOWDOWN_TOLERANCE}x slower than this "
+                             "reference report")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"[bench] wrote {args.out}")
+
+    identical = report["summary"]["all_simulated_results_identical"]
+    if identical is False:
+        print("[bench] FAIL: simulated-time results differ between toggle "
+              "states", file=sys.stderr)
+        return 1
+    if args.compare:
+        with open(args.compare) as fh:
+            reference = json.load(fh)
+        failures = compare_reports(report, reference)
+        if failures:
+            for line in failures:
+                print(f"[bench] REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"[bench] within {SLOWDOWN_TOLERANCE}x of {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

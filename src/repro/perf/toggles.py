@@ -1,0 +1,87 @@
+"""Runtime switches for the PR 2 hot-path optimizations.
+
+Every optimization added by the performance layer is gated behind a toggle
+so the benchmark harness (:mod:`repro.perf.bench`) can measure *before* and
+*after* from one build, and so a bisection of a perf regression can turn
+individual fast paths off without reverting code.
+
+The toggles only change **wall-clock** behaviour.  Every fast path preserves
+the exact (time, seq) event ordering of the DES engine and the exact floating
+point operation order of the simulated-time results; the bit-identical guard
+in ``tests/test_perf_identical.py`` enforces this across sync/coupled x DLB
+on/off.
+
+This module must stay dependency-free (no numpy, no repro imports): it is
+imported by ``sim``, ``smpi``, ``core``, ``fem`` and ``particles``, which sit
+below everything else in the package graph.
+
+Capture semantics: long-lived objects (``Engine``, ``World``, ``Team``,
+``ElementLocator``) capture the toggle state at construction, so flipping a
+toggle mid-run never mixes code paths within one simulation.  Stateless
+kernels (``fem.assembly``) read the toggle per call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+
+__all__ = ["Toggles", "TOGGLES", "set_toggles", "baseline", "configured"]
+
+
+@dataclass(frozen=True)
+class Toggles:
+    """Feature switches for the individual fast paths (all on by default)."""
+
+    #: ``sim.engine``: FIFO now-queue for same-time posts (no heap sift) and
+    #: the inlined run loop with the single-waiter dispatch fast path.
+    engine_fast_path: bool = True
+    #: ``core.runtime`` / ``smpi.comm``: run tasks and collective finishes as
+    #: deferred callbacks instead of generator Processes, with cached task
+    #: durations and collective-group topology.
+    runtime_fast_path: bool = True
+    #: ``smpi.comm``: no-dead-ranks fast path in collective completion.
+    comm_fast_path: bool = True
+    #: ``fem.assembly``: precompute the CSR sparsity pattern per
+    #: (mesh, element set) and scatter values into it on later assemblies.
+    assembly_pattern_cache: bool = True
+    #: ``particles.tracker``: KD-tree queries only for STATUS_ACTIVE
+    #: particles; frozen (deposited/escaped) particles keep their cached
+    #: element assignment.
+    locator_active_only: bool = True
+
+
+#: process-wide current toggle state
+TOGGLES = Toggles()
+
+
+def set_toggles(toggles: Toggles) -> Toggles:
+    """Replace the process-wide toggle state; returns the previous one."""
+    global TOGGLES
+    previous = TOGGLES
+    TOGGLES = toggles
+    return previous
+
+
+@contextmanager
+def configured(**overrides: bool):
+    """Context manager: run with the given toggle fields overridden."""
+    bad = set(overrides) - {f.name for f in fields(Toggles)}
+    if bad:
+        raise TypeError(f"unknown toggles: {sorted(bad)}")
+    previous = set_toggles(replace(TOGGLES, **overrides))
+    try:
+        yield TOGGLES
+    finally:
+        set_toggles(previous)
+
+
+@contextmanager
+def baseline():
+    """Context manager: every fast path off (the pre-PR-2 code paths)."""
+    off = Toggles(**{f.name: False for f in fields(Toggles)})
+    previous = set_toggles(off)
+    try:
+        yield off
+    finally:
+        set_toggles(previous)

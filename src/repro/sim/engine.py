@@ -16,7 +16,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..perf import toggles as _perf_toggles
 
 __all__ = [
     "Engine",
@@ -42,7 +45,7 @@ class Event:
     """
 
     __slots__ = ("engine", "callbacks", "_triggered", "_processed", "_ok",
-                 "_value")
+                 "_value", "_defer")
 
     def __init__(self, engine: "Engine"):
         self.engine = engine
@@ -51,6 +54,9 @@ class Event:
         self._processed = False
         self._ok: Optional[bool] = None
         self._value: Any = None
+        # (fn, args) invoked directly by the run loop when this event pops —
+        # the frame-free form of a single callback (see Engine.defer).
+        self._defer: Optional[tuple] = None
 
     # -- state ------------------------------------------------------------
     @property
@@ -283,6 +289,12 @@ class Engine:
         self._n_events_processed = 0
         self._procs: set[Process] = set()
         self._stop_reason: Optional[str] = None
+        # Same-time posts go to a FIFO now-queue of (seq, event): the global
+        # (time, seq) order is preserved (the queue is compared against the
+        # heap head by seq) while the common case — an event triggered at the
+        # current time — skips the heap sift entirely.
+        self._now_queue: deque[tuple[int, Event]] = deque()
+        self._fast = _perf_toggles.TOGGLES.engine_fast_path
 
     # -- factory helpers ----------------------------------------------------
     def event(self) -> Event:
@@ -308,13 +320,86 @@ class Engine:
         """Composite event triggering at the first of ``events``."""
         return AnyOf(self, events)
 
+    def defer(self, fn: Callable[..., None], *args: Any) -> Event:
+        """Run ``fn(*args)`` when the engine next reaches the current time.
+
+        Equivalent to a :class:`Process` whose generator would execute
+        ``fn`` before its first yield (the bootstrap event is posted at the
+        same queue position), without the generator/Process allocation.
+        The callback-based task runtime and collective completion are built
+        on this.
+        """
+        # inlined Event(self) + ev.succeed() minus the already-triggered
+        # guard (the event is freshly constructed): this runs ~50k times
+        # per CFPD run.  fn/args ride in the _defer slot so the run loop
+        # invokes them without a lambda frame or a callbacks list entry.
+        ev = Event.__new__(Event)
+        ev.engine = self
+        ev.callbacks = []
+        ev._triggered = True
+        ev._processed = False
+        ev._ok = True
+        ev._value = None
+        ev._defer = (fn, args)
+        self._post(ev)
+        return ev
+
+    def call_later(self, delay: float, fn: Callable[..., None],
+                   *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated time.
+
+        Equivalent to a :class:`Timeout` with ``fn`` as its only callback —
+        same heap entry, same seq — without the Timeout construction or the
+        callback closure.  Used by the callback-based task runtime for the
+        per-task execution delay.
+        """
+        ev = Event.__new__(Event)
+        ev.engine = self
+        ev.callbacks = []
+        ev._triggered = False
+        ev._processed = False
+        ev._ok = None
+        ev._value = None
+        ev._defer = (fn, args)
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), ev))
+        return ev
+
     # -- scheduling (internal) ----------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
         heapq.heappush(self._queue, (when, next(self._seq), event))
 
     def _post(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks at the current time."""
-        heapq.heappush(self._queue, (self.now, next(self._seq), event))
+        if self._fast:
+            self._now_queue.append((next(self._seq), event))
+        else:
+            heapq.heappush(self._queue, (self.now, next(self._seq), event))
+
+    def _pop(self) -> Event:
+        """Remove and return the globally next event, advancing the clock.
+
+        The now-queue holds only events posted at the current time, in seq
+        order; the heap may also hold entries *at* the current time (e.g. a
+        zero-delay Timeout created after earlier posts), so when both are
+        candidates the smaller seq wins — reproducing the exact total
+        (time, seq) order of a single heap.
+        """
+        nq = self._now_queue
+        q = self._queue
+        if nq:
+            if q and q[0][0] <= self.now and q[0][1] < nq[0][0]:
+                _, _, event = heapq.heappop(q)
+                return event
+            return nq.popleft()[1]
+        if not q:
+            raise SimulationError(
+                f"no events scheduled ({self.alive_process_count} "
+                f"processes still alive at t={self.now:.6f}s)")
+        when, _, event = heapq.heappop(q)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        return event
 
     # -- running --------------------------------------------------------------
     def step(self) -> None:
@@ -324,36 +409,77 @@ class Engine:
         queue while processes are still alive means every one of them is
         blocked on an event nobody will trigger (a deadlock).
         """
-        if not self._queue:
-            raise SimulationError(
-                f"no events scheduled ({self.alive_process_count} "
-                f"processes still alive at t={self.now:.6f}s)")
-        when, _, event = heapq.heappop(self._queue)
-        if when < self.now:
-            raise SimulationError("time went backwards")
-        self.now = when
+        event = self._pop()
         if not event._triggered:
             # A Timeout reaching its deadline: apply the trigger state now.
             event._triggered = True
             event._ok = True
         self._n_events_processed += 1
         event._processed = True
+        d = event._defer
+        if d is not None:
+            event._defer = None
+            d[0](*d[1])
         callbacks, event.callbacks = event.callbacks, []
         for cb in callbacks:
             cb(event)
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or the clock would pass ``until``."""
+        """Run until the queue drains or the clock would pass ``until``.
+
+        This is :meth:`step` in a loop with the pop logic inlined — the
+        loop runs a hundred thousand times per simulated CFPD run, so the
+        per-event function-call overhead is worth removing.  Behaviour is
+        identical to repeated ``step()`` calls.
+        """
         if until is not None and until < self.now:
             raise SimulationError("cannot run into the past")
-        while self._queue:
-            if self._stop_reason is not None:
-                return
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                self.now = until
-                return
-            self.step()
+        nq = self._now_queue
+        q = self._queue
+        heappop = heapq.heappop
+        n_done = 0
+        try:
+            while nq or q:
+                if self._stop_reason is not None:
+                    return
+                if nq:
+                    # Now-queue events are always at the current time; a
+                    # heap entry also at the current time with a smaller seq
+                    # (e.g. a zero-delay Timeout) must still run first.
+                    if q and q[0][0] <= self.now and q[0][1] < nq[0][0]:
+                        _, _, event = heappop(q)
+                    else:
+                        _, event = nq.popleft()
+                else:
+                    when = q[0][0]
+                    if until is not None and when > until:
+                        self.now = until
+                        return
+                    when, _, event = heappop(q)
+                    if when < self.now:
+                        raise SimulationError("time went backwards")
+                    self.now = when
+                if not event._triggered:
+                    event._triggered = True
+                    event._ok = True
+                n_done += 1
+                event._processed = True
+                d = event._defer
+                if d is not None:
+                    # frame-free deferred call (Engine.defer / call_later)
+                    event._defer = None
+                    d[0](*d[1])
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    if len(callbacks) == 1:
+                        # single-waiter fast path: skip the loop machinery
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+        finally:
+            self._n_events_processed += n_done
         if until is not None:
             self.now = until
 

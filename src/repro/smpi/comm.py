@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..machine import ClusterModel, rank_to_node
+from ..perf import toggles as _perf_toggles
 from ..sim import Engine, Event, Store
 from .pmpi import HookList, PMPIHook
 
@@ -137,6 +138,10 @@ class Comm:
         self.group = tuple(group)
         self.rank = rank
         self.world_rank = self.group[rank]
+        # Cached rank order for collectives: when every member contributed
+        # (the no-failure case) the sorted local-rank sequence is just
+        # 0..size-1, so the per-call ``sorted(contribs)`` is skipped.
+        self._rank_order = tuple(range(len(self.group)))
 
     # -- introspection ------------------------------------------------------
     @property
@@ -164,6 +169,17 @@ class Comm:
         return self._world
 
     # -- internal helpers -----------------------------------------------------
+    def _ordered_ranks(self, contribs: dict) -> Sequence[int]:
+        """Contributing local ranks in ascending order (reduction order).
+
+        Identical to ``sorted(contribs)``: a full contribution set is the
+        cached ``0..size-1`` tuple; only shrunk (post-failure) collectives
+        pay for a sort.
+        """
+        if len(contribs) == len(self.group):
+            return self._rank_order
+        return sorted(contribs)
+
     def _blocking(self, call: str, observed: bool = True):
         world = self._world
         if observed:
@@ -196,9 +212,41 @@ class Comm:
         """Non-blocking send; returns an event triggering at delivery."""
         if not 0 <= dest < self.size:
             raise MPIError(f"dest {dest} out of range for comm size {self.size}")
-        return self._world.engine.process(
+        world = self._world
+        if world._fast_finish:
+            # Callback-based transfer: the deferral is posted where the
+            # Process bootstrap would be and the delivery timeout is created
+            # when it pops, so the event trajectory matches the generator
+            # path below; ``req`` stands in for the Process request handle.
+            req = world.engine.event()
+            world.engine.defer(self._isend_start, payload, dest, tag,
+                               nbytes, req)
+            return req
+        return world.engine.process(
             self._transfer(payload, dest, tag, nbytes),
             name=f"isend[{self.world_rank}->{self.group[dest]}]")
+
+    def _isend_start(self, payload: Any, dest: int, tag: int,
+                     nbytes: Optional[float], req: Event) -> None:
+        world = self._world
+        size = _payload_nbytes(payload, nbytes)
+        dest_world = self.group[dest]
+        delay = world.cluster.message_seconds(
+            world.node_of(self.world_rank), world.node_of(dest_world), size)
+        dropped = False
+        if world.fault_controller is not None:
+            dropped, extra = world.fault_controller.on_message(
+                self.world_rank, dest_world, size)
+            delay += extra
+
+        def _deliver() -> None:
+            if not dropped:
+                world.deliver(Message(src=self.rank, dest=dest, tag=tag,
+                                      comm_id=self.comm_id, payload=payload,
+                                      nbytes=size), dest_world)
+            req.succeed(None)
+
+        world.engine.call_later(delay, _deliver)
 
     def _transfer(self, payload: Any, dest: int, tag: int,
                   nbytes: Optional[float]):
@@ -353,7 +401,7 @@ class Comm:
         def relay(ev: Event) -> None:
             contribs = ev.value
             result.succeed(_reduce_values(
-                [contribs[r] for r in sorted(contribs)], op))
+                [contribs[r] for r in self._ordered_ranks(contribs)], op))
 
         if coll.done.processed:
             relay(coll.done)
@@ -369,7 +417,8 @@ class Comm:
         contributions (collectives shrink, ULFM-style).
         """
         contribs = yield from self._collective("allreduce", value, nbytes)
-        return _reduce_values([contribs[r] for r in sorted(contribs)], op)
+        return _reduce_values(
+            [contribs[r] for r in self._ordered_ranks(contribs)], op)
 
     def reduce(self, value: Any, root: int = 0,
                op: Callable[[Any, Any], Any] = None,
@@ -378,7 +427,8 @@ class Comm:
         contribs = yield from self._collective("reduce", value, nbytes)
         if self.rank != root:
             return None
-        return _reduce_values([contribs[r] for r in sorted(contribs)], op)
+        return _reduce_values(
+            [contribs[r] for r in self._ordered_ranks(contribs)], op)
 
     def bcast(self, value: Any, root: int = 0,
               nbytes: Optional[float] = None):
@@ -421,7 +471,8 @@ class Comm:
         if len(values) != self.size:
             raise MPIError("alltoall needs exactly one value per rank")
         contribs = yield from self._collective("alltoall", list(values), nbytes)
-        return [contribs[r][self.rank] for r in sorted(contribs)]
+        return [contribs[r][self.rank]
+                for r in self._ordered_ranks(contribs)]
 
     # -- convenience --------------------------------------------------------
     def compute(self, seconds: float):
@@ -486,6 +537,11 @@ class World:
         #: optional fault controller with on_message(src, dest, nbytes)
         self.fault_controller: Optional[Any] = None
         self._rank_procs: dict[int, Any] = {}
+        #: group tuple -> (intra_steps, inter_steps) for collective_cost;
+        #: pure topology, static for the lifetime of the world.
+        self._group_topo: dict[tuple, tuple[int, int]] = {}
+        self._fast = _perf_toggles.TOGGLES.comm_fast_path
+        self._fast_finish = _perf_toggles.TOGGLES.runtime_fast_path
 
     # -- topology -----------------------------------------------------------
     def node_of(self, world_rank: int) -> int:
@@ -561,16 +617,27 @@ class World:
 
     def collective_cost(self, coll: _Collective) -> float:
         """Hierarchical tree collective: intra-node reduction trees plus an
-        inter-node exchange tree (the standard 2-level MPI algorithm)."""
-        nodes: dict[int, int] = {}
-        for w in coll.group:
-            node = self.node_of(w)
-            nodes[node] = nodes.get(node, 0) + 1
+        inter-node exchange tree (the standard 2-level MPI algorithm).
+
+        The tree depths depend only on the group's node placement, which is
+        static, so they are computed once per distinct group.
+        """
+        topo = self._group_topo.get(coll.group)
+        if topo is None:
+            nodes: dict[int, int] = {}
+            for w in coll.group:
+                node = self.node_of(w)
+                nodes[node] = nodes.get(node, 0) + 1
+            intra_steps = max(
+                1, math.ceil(math.log2(max(2, max(nodes.values())))))
+            inter_steps = (max(1, math.ceil(math.log2(len(nodes))))
+                           if len(nodes) > 1 else 0)
+            topo = (intra_steps, inter_steps)
+            self._group_topo[coll.group] = topo
+        intra_steps, inter_steps = topo
         per_rank = coll.nbytes_total / max(1, coll.n)
-        intra_steps = max(1, math.ceil(math.log2(max(2, max(nodes.values())))))
         cost = intra_steps * self.cluster.intranode.transfer_seconds(per_rank)
-        if len(nodes) > 1:
-            inter_steps = max(1, math.ceil(math.log2(len(nodes))))
+        if inter_steps:
             cost += inter_steps * self.cluster.interconnect.transfer_seconds(
                 per_rank)
         return cost
@@ -585,24 +652,45 @@ class World:
         coll = self.collectives.get(key)
         if coll is None:
             return
-        alive = [i for i, w in enumerate(coll.group)
-                 if w not in self.dead_ranks]
-        if not alive:
-            # Everyone in the group died: nobody is waiting, drop it.
-            del self.collectives[key]
-            return
-        if not all(i in coll.contribs for i in alive):
-            return
+        if self._fast and not self.dead_ranks:
+            # No failures in the job: everyone is alive, so completion is
+            # just a contribution count — no per-call group scan or filtered
+            # copy of the contribution dict.
+            if len(coll.contribs) < coll.n:
+                return
+            contribs = coll.contribs
+        else:
+            alive = [i for i, w in enumerate(coll.group)
+                     if w not in self.dead_ranks]
+            if not alive:
+                # Everyone in the group died: nobody is waiting, drop it.
+                del self.collectives[key]
+                return
+            if not all(i in coll.contribs for i in alive):
+                return
+            contribs = {i: v for i, v in coll.contribs.items() if i in alive}
         del self.collectives[key]
         delay = self.collective_cost(coll)
         done = coll.done
-        contribs = {i: v for i, v in coll.contribs.items() if i in alive}
+
+        if self._fast_finish:
+            # Deferred-callback completion: the deferral event is posted at
+            # the same queue position a Process bootstrap would be, and the
+            # timeout is created when it pops — the same (time, seq)
+            # trajectory as the generator below, minus its allocations and
+            # the process-completion event.
+            self.engine.defer(self._finish_collective, done, delay, contribs)
+            return
 
         def finish():
             yield self.engine.timeout(delay)
             done.succeed(contribs)
 
         self.engine.process(finish(), name=f"{coll.kind}[{key[0]}]")
+
+    def _finish_collective(self, done: Event, delay: float,
+                           contribs: dict) -> None:
+        self.engine.call_later(delay, done.succeed, contribs)
 
     # -- failure detection & injection ----------------------------------------
     def register_rank_process(self, world_rank: int, proc: Any) -> None:

@@ -1,0 +1,372 @@
+"""Unit tests for the performance layer (repro.perf): toggles,
+instrumentation, benchmark runner, and the per-module fast-path
+equivalences (comm, assembly, tracker)."""
+
+import numpy as np
+import pytest
+
+from repro.fem import assemble_operator
+from repro.machine import marenostrum4, thunder
+from repro.mesh import AirwayConfig, MeshResolution, build_airway_mesh
+from repro.particles import (
+    STATUS_ACTIVE,
+    ElementLocator,
+    FluidProperties,
+    NewmarkTracker,
+    ParticleProperties,
+    ParticleState,
+    inject_at_inlet,
+)
+from repro.perf import (
+    Counters,
+    PhaseTimer,
+    ThroughputMeter,
+    Toggles,
+    engine_counters,
+)
+from repro.perf import toggles as toggles_mod
+from repro.sim import Engine
+from repro.smpi import World
+
+
+def small_airway():
+    return build_airway_mesh(AirwayConfig(generations=3, seed=2018),
+                             MeshResolution(points_per_ring=6, rings=2))
+
+
+# -- toggles ---------------------------------------------------------------
+
+class TestToggles:
+    def test_defaults_all_on(self):
+        t = Toggles()
+        assert all(getattr(t, f) for f in
+                   ("engine_fast_path", "runtime_fast_path",
+                    "comm_fast_path", "assembly_pattern_cache",
+                    "locator_active_only"))
+
+    def test_baseline_turns_everything_off_and_restores(self):
+        before = toggles_mod.TOGGLES
+        with toggles_mod.baseline() as off:
+            assert not off.engine_fast_path
+            assert not off.assembly_pattern_cache
+            assert toggles_mod.TOGGLES is off
+        assert toggles_mod.TOGGLES is before
+
+    def test_configured_overrides_and_restores(self):
+        with toggles_mod.configured(engine_fast_path=False) as t:
+            assert not t.engine_fast_path
+            assert t.comm_fast_path
+        assert toggles_mod.TOGGLES.engine_fast_path
+
+    def test_configured_rejects_unknown_toggle(self):
+        with pytest.raises(TypeError, match="unknown toggles"):
+            with toggles_mod.configured(warp_drive=True):
+                pass
+
+    def test_restored_after_exception(self):
+        before = toggles_mod.TOGGLES
+        with pytest.raises(RuntimeError):
+            with toggles_mod.baseline():
+                raise RuntimeError("boom")
+        assert toggles_mod.TOGGLES is before
+
+
+# -- instrumentation -------------------------------------------------------
+
+class TestInstrument:
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("assembly"):
+                pass
+        assert timer.entries("assembly") == 3
+        assert timer.seconds("assembly") >= 0.0
+        assert timer.seconds("never") == 0.0
+        rep = timer.report()
+        assert rep["assembly"]["entries"] == 3
+
+    def test_phase_timer_rejects_reentrant_same_name(self):
+        timer = PhaseTimer()
+        with timer.phase("x"):
+            with pytest.raises(ValueError, match="already open"):
+                with timer.phase("x"):
+                    pass
+
+    def test_phase_timer_nests_different_names(self):
+        timer = PhaseTimer()
+        with timer.phase("outer"):
+            with timer.phase("inner"):
+                pass
+        assert timer.entries("outer") == timer.entries("inner") == 1
+
+    def test_counters(self):
+        c = Counters()
+        c.add("events")
+        c.add("events", 9)
+        assert c.get("events") == 10
+        assert c.get("missing") == 0
+        assert c.report() == {"events": 10}
+
+    def test_throughput_meter(self):
+        m = ThroughputMeter()
+        m.record("elements", 500, 0.5)
+        m.record("elements", 500, 0.5)
+        assert m.rate("elements") == pytest.approx(1000.0)
+        assert m.rate("empty") == 0.0
+        rep = m.report()
+        assert rep["elements"]["units"] == 1000
+        with pytest.raises(ValueError):
+            m.record("bad", 1, -1.0)
+
+    def test_engine_counters(self):
+        eng = Engine()
+
+        def proc():
+            yield eng.timeout(1.0)
+
+        eng.process(proc())
+        eng.run()
+        snap = engine_counters(eng)
+        assert snap["events_processed"] > 0
+        assert snap["sim_now"] == pytest.approx(1.0)
+        assert snap["alive_processes"] == 0
+
+
+# -- benchmark runner ------------------------------------------------------
+
+class TestBench:
+    def test_table_modes(self):
+        from repro.perf.bench import _benchmark_table
+
+        full = {r["name"] for r in _benchmark_table(quick=False)}
+        quick = {r["name"] for r in _benchmark_table(quick=True)}
+        assert quick < full
+        assert "run_cfpd_sync" in quick
+        assert "run_cfpd_sync_dlb" in full - quick
+
+    def test_compare_reports_flags_regressions(self):
+        from repro.perf.bench import compare_reports
+
+        ref = {"benchmarks": [
+            {"name": "a", "after_seconds": 1.0},
+            {"name": "b", "after_seconds": 1.0}]}
+        cur = {"benchmarks": [
+            {"name": "a", "after_seconds": 1.5},     # within 2x
+            {"name": "b", "after_seconds": 2.5},     # regression
+            {"name": "new", "after_seconds": 9.0}]}  # not in ref: skipped
+        failures = compare_reports(cur, ref)
+        assert len(failures) == 1
+        assert failures[0].startswith("b:")
+
+    def test_run_benchmarks_micro_smoke(self, monkeypatch):
+        """One table row end-to-end through the runner (fast smoke)."""
+        import repro.perf.bench as bench
+
+        monkeypatch.setattr(
+            bench, "_benchmark_table",
+            lambda quick: [{"name": "engine_events", "kind": "micro",
+                            "fn": bench._engine_events_workload,
+                            "units": "events"}])
+        report = bench.run_benchmarks(quick=True, verbose=False)
+        assert report["schema"] == "repro-bench-v1"
+        [b] = report["benchmarks"]
+        assert b["name"] == "engine_events"
+        assert b["before_seconds"] > 0 and b["after_seconds"] > 0
+        assert b["throughput"]["units"] == "events"
+        assert b["throughput"]["after_per_second"] > 0
+
+
+# -- smpi fast-path equivalence --------------------------------------------
+
+def _collective_round(world):
+    """allreduce + reduce + alltoall on every alive rank of ``world``."""
+
+    def program(comm):
+        red = yield from comm.allreduce(float(comm.rank + 1))
+        mx = yield from comm.reduce(comm.rank, root=0,
+                                    op=lambda a, b: max(a, b))
+        a2a = yield from comm.alltoall(
+            [comm.rank * 100 + d for d in range(comm.size)])
+        yield from comm.barrier()
+        return (red, mx, a2a)
+
+    return world.run(world.launch(program))
+
+
+class TestCommFastPath:
+    def test_collective_results_and_timing_unchanged(self):
+        results = {}
+        for label, ctx in (("before", toggles_mod.baseline),
+                           ("after", toggles_mod.configured)):
+            with ctx():
+                eng = Engine()
+                world = World(eng, marenostrum4(), 8, mapping="block")
+                results[label] = (_collective_round(world), eng.now)
+        assert results["before"] == results["after"]
+
+    def test_collectives_with_dead_rank_unchanged(self):
+        def run():
+            eng = Engine()
+            world = World(eng, thunder(1), 4, mapping="block")
+
+            def program(comm):
+                if comm.rank == 3:
+                    yield from comm.compute(10.0)  # killed before this ends
+                    return None
+                total = yield from comm.allreduce(float(comm.rank + 1))
+                return total
+
+            procs = world.launch(program)
+            world.kill_rank(3, "fault injection")
+            results = world.run(procs)
+            # exceptions compare by identity: normalize the dead rank's
+            return ([repr(r) if isinstance(r, Exception) else r
+                     for r in results], eng.now)
+
+        with toggles_mod.baseline():
+            before = run()
+        after = run()
+        assert before == after
+        # survivors' reduction: ranks 0..2 contribute 1+2+3
+        assert after[0][0] == pytest.approx(6.0)
+
+    def test_isend_fast_path_delivers(self):
+        eng = Engine()
+        world = World(eng, marenostrum4(), 2)
+
+        def program(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(4), dest=1, nbytes=32)
+                yield from comm.wait(req)
+                return None
+            data = yield from comm.recv(source=0)
+            return list(data)
+
+        results = world.run(world.launch(program))
+        assert results[1] == [0, 1, 2, 3]
+        assert eng.now > 0.0
+
+
+# -- assembly fast-path equivalence ----------------------------------------
+
+class TestAssemblyPatternCache:
+    def test_fast_matches_baseline(self):
+        airway = small_airway()
+        mesh = airway.mesh
+        rng = np.random.default_rng(3)
+        vel = rng.normal(size=(mesh.nnodes, 3))
+        ids = np.arange(mesh.nelem)
+
+        with toggles_mod.baseline():
+            ref = assemble_operator(mesh, kappa=0.7, mass_coeff=2.0,
+                                    velocity=vel, element_ids=ids,
+                                    source=1.5)
+        # two fast assemblies: first builds the pattern, second reuses it
+        fast1 = assemble_operator(mesh, kappa=0.7, mass_coeff=2.0,
+                                  velocity=vel, element_ids=ids, source=1.5)
+        fast2 = assemble_operator(mesh, kappa=0.7, mass_coeff=2.0,
+                                  velocity=vel, element_ids=ids, source=1.5)
+        ref_m = ref.matrix.tocsr()
+        ref_m.sum_duplicates()
+        ref_m.sort_indices()
+        for res in (fast1, fast2):
+            m = res.matrix
+            # sparsity structure is exactly scipy's canonical CSR
+            assert np.array_equal(m.indices, ref_m.indices)
+            assert np.array_equal(m.indptr, ref_m.indptr)
+            # values agree to summation-order tolerance
+            assert np.allclose(m.data, ref_m.data, rtol=0, atol=1e-12)
+            # work meters and rhs are exact
+            assert np.array_equal(res.scatter_counts, ref.scatter_counts)
+            assert np.array_equal(res.element_nodes, ref.element_nodes)
+            assert np.array_equal(res.rhs, ref.rhs)
+        # repeated fast assemblies are bit-identical to each other
+        assert np.array_equal(fast1.matrix.data, fast2.matrix.data)
+
+    def test_restricted_element_sets_get_separate_patterns(self):
+        airway = small_airway()
+        mesh = airway.mesh
+        half = np.arange(mesh.nelem // 2)
+        full = assemble_operator(mesh, kappa=1.0)
+        part = assemble_operator(mesh, kappa=1.0, element_ids=half)
+        with toggles_mod.baseline():
+            part_ref = assemble_operator(mesh, kappa=1.0, element_ids=half)
+        assert full.matrix.nnz > part.matrix.nnz
+        assert np.array_equal(part.matrix.indices, part_ref.matrix.indices)
+        assert np.allclose(part.matrix.data, part_ref.matrix.data,
+                           rtol=0, atol=1e-12)
+
+    def test_stale_pattern_detected(self):
+        from repro.mesh import ElementType
+
+        airway = small_airway()
+        mesh = airway.mesh
+        assemble_operator(mesh, kappa=1.0)  # populates the cache
+        # mutate the connectivity behind the cache's back: a tet becomes a
+        # prism, changing the scattered-value count for the same element set
+        tet = int(np.nonzero(mesh.elem_types == ElementType.TET)[0][0])
+        mesh.elem_types[tet] = ElementType.PRISM
+        mesh.elem_nodes[tet, 4:] = mesh.elem_nodes[tet, 0]
+        with pytest.raises(ValueError, match="stale"):
+            assemble_operator(mesh, kappa=1.0)
+
+
+# -- tracker fast-path equivalence ----------------------------------------
+
+class TestLocatorActiveOnly:
+    def _track(self, n_steps=25):
+        airway = small_airway()
+        state = inject_at_inlet(airway, 400, seed=11)
+        from repro.particles import AirwayFlow
+
+        flow = AirwayFlow(airway.segments)
+        tracker = NewmarkTracker(flow, particles=ParticleProperties(),
+                                 fluid=FluidProperties())
+        return airway, state, tracker
+
+    def test_elements_of_state_matches_full_query(self):
+        airway, state, tracker = self._track()
+        nranks = 8
+        from repro.partition import decompose_mesh
+
+        labels = decompose_mesh(airway, nranks).labels
+        locator = ElementLocator(airway, labels)
+        for _ in range(25):
+            tracker.step(state, 1e-3)
+            got = locator.elements_of_state(state)
+            ref = locator.elements_of(state.x)
+            assert np.array_equal(got, ref)
+            assert np.array_equal(
+                locator.rank_histogram_state(state, nranks),
+                locator.rank_histogram(state.x[state.active], nranks))
+        # the run must actually exercise the frozen-particle cache
+        assert (state.status != STATUS_ACTIVE).any()
+
+    def test_deposition_and_positions_unchanged_by_fast_locator(self):
+        def run():
+            airway, state, tracker = self._track()
+            locator = ElementLocator(airway)
+            hists = []
+            for _ in range(25):
+                tracker.step(state, 1e-3)
+                hists.append(locator.elements_of_state(state).copy())
+            return state, hists
+
+        with toggles_mod.baseline():
+            s_ref, h_ref = run()
+        s_fast, h_fast = run()
+        assert np.array_equal(s_ref.status, s_fast.status)
+        assert np.array_equal(s_ref.x, s_fast.x)
+        assert np.array_equal(s_ref.v, s_fast.v)
+        assert s_ref.counts() == s_fast.counts()
+        for a, b in zip(h_ref, h_fast):
+            assert np.array_equal(a, b)
+
+    def test_cache_grows_with_repeated_injection(self):
+        airway, state, tracker = self._track()
+        locator = ElementLocator(airway)
+        locator.elements_of_state(state)
+        state.extend(inject_at_inlet(airway, 100, seed=12))
+        got = locator.elements_of_state(state)
+        assert len(got) == state.n
+        assert np.array_equal(got, locator.elements_of(state.x))

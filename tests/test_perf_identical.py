@@ -1,0 +1,72 @@
+"""The PR 2 contract: fast paths change wall-clock only.
+
+Two guards:
+
+* **determinism** — two optimized runs of the same configuration produce
+  identical simulated-time metrics and identical checkpoint bytes;
+* **bit-identical before/after** — a run with every fast path disabled
+  (:func:`repro.perf.toggles.baseline`) matches an optimized run exactly:
+  phase samples, total time, deposition, solver info, and the on-disk
+  checkpoint file (byte-for-byte), across sync/coupled x DLB on/off.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.app.driver import RunConfig, run_cfpd
+from repro.app.workload import WorkloadSpec, get_workload
+from repro.perf import toggles as toggles_mod
+
+#: small but non-trivial workload: enough steps for two checkpoint cuts
+SPEC = WorkloadSpec(generations=3, points_per_ring=6, n_steps=4)
+
+CONFIGS = {
+    "sync": dict(cluster="thunder", num_nodes=1, nranks=8),
+    "sync_dlb": dict(cluster="thunder", num_nodes=1, nranks=8, dlb=True),
+    "coupled": dict(cluster="thunder", num_nodes=1, nranks=8,
+                    mode="coupled", fluid_ranks=6),
+    "coupled_dlb": dict(cluster="thunder", num_nodes=1, nranks=8,
+                        mode="coupled", fluid_ranks=6, dlb=True),
+}
+
+
+def _digest(result) -> str:
+    """Hash of every simulated-time metric of a run."""
+    h = hashlib.sha256()
+    for s in result.phase_log.samples:
+        h.update(repr((s.step, s.rank, s.phase, s.t0, s.t1,
+                       s.busy, s.instructions)).encode())
+    h.update(repr(result.total_time).encode())
+    h.update(repr(result.deposition).encode())
+    h.update(repr(result.solver_info).encode())
+    h.update(repr(result.checkpoints).encode())
+    return h.hexdigest()
+
+
+def _run(config_kwargs, ckpt_path):
+    cfg = RunConfig(checkpoint_every=2, **config_kwargs)
+    wl = get_workload(SPEC)
+    result = run_cfpd(cfg, workload=wl, checkpoint_path=str(ckpt_path))
+    return _digest(result), ckpt_path.read_bytes()
+
+
+class TestDeterminism:
+    def test_two_optimized_runs_identical(self, tmp_path):
+        d1, c1 = _run(CONFIGS["sync"], tmp_path / "a.ckpt")
+        d2, c2 = _run(CONFIGS["sync"], tmp_path / "b.ckpt")
+        assert d1 == d2
+        assert c1 == c2
+
+
+class TestBitIdenticalBeforeAfter:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_fast_paths_change_wall_clock_only(self, name, tmp_path):
+        kwargs = CONFIGS[name]
+        with toggles_mod.baseline():
+            d_before, c_before = _run(kwargs, tmp_path / "before.ckpt")
+        d_after, c_after = _run(kwargs, tmp_path / "after.ckpt")
+        assert d_before == d_after, (
+            f"{name}: simulated-time metrics changed by the fast paths")
+        assert c_before == c_after, (
+            f"{name}: checkpoint bytes changed by the fast paths")
