@@ -21,8 +21,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..fem import SGSState, assemble_operator, update_sgs
-from ..mesh import AirwayConfig, ElementType, MeshResolution, build_airway_mesh
+from ..fem import SGSState, assemble_operator, element_work_meters, update_sgs
+from ..mesh import AirwayConfig, MeshResolution, build_airway_mesh
 from ..mesh.generator import AirwayMesh
 from ..partition import Decomposition, decompose_mesh, greedy_coloring
 from ..particles import (
@@ -151,19 +151,11 @@ class Workload:
         ranks = []
         for dom in dec.domains:
             ids = dom.element_ids
-            etypes = self.mesh.elem_types[ids]
-            a_instr = np.zeros(len(ids))
-            s_instr = np.zeros(len(ids))
-            atomics = np.zeros(len(ids))
-            for etype in ElementType:
-                sel = etypes == etype
-                if not sel.any():
-                    continue
-                nn = {ElementType.TET: 4, ElementType.PYRAMID: 5,
-                      ElementType.PRISM: 6}[etype]
-                a_instr[sel] = self.costs.assembly_instructions(etype)
-                s_instr[sel] = self.costs.sgs_instructions(etype)
-                atomics[sel] = nn * nn + nn
+            # the same per-element meters the assembly kernel reports
+            a_instr, atomics = element_work_meters(
+                self.mesh, self.costs.assembly_instr, ids)
+            s_instr, _ = element_work_meters(
+                self.mesh, self.costs.sgs_instr, ids)
             colors = (greedy_coloring(self.mesh.node_sharing_adjacency(ids))
                       if len(ids) else np.zeros(0, dtype=np.int32))
             owned_rows = node_owner == dom.rank

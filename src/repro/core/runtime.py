@@ -20,6 +20,7 @@ Scheduling semantics:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
@@ -126,6 +127,15 @@ class Team:
         self._stats: Optional[GraphStats] = None
         self._hungry_notified = False
         self._fast = _perf_toggles.TOGGLES.runtime_fast_path
+        # Heap-backed LPT ready queue (toggle captured at construction).
+        # Entries are (-instr, seq, task): popping the heap min yields the
+        # largest-instruction task, earliest arrival first — provably the
+        # same task the linear argmax scan (strict >, FIFO tie-break)
+        # selects, in O(log n) instead of O(n) per dispatch.
+        self._use_heap = (scheduler == "lpt"
+                          and _perf_toggles.TOGGLES.scheduler_heap)
+        self._heap: list = []
+        self._seq = 0
 
     # -- capacity (the DLB surface) -----------------------------------------
     @property
@@ -146,6 +156,8 @@ class Team:
     @property
     def ready_count(self) -> int:
         """Tasks currently ready (waiting for a worker)."""
+        if self._use_heap:
+            return len(self._heap)
         return len(self._ready)
 
     @property
@@ -153,7 +165,14 @@ class Team:
         """Whether extra capacity would be used right now."""
         if self._graph is None or self._active < self._max_workers:
             return False
-        if not self._held_refs:
+        held = self._held_refs
+        if self._use_heap:
+            if not held:
+                return bool(self._heap)
+            # existence check only — no need for the *best* runnable task
+            return any(entry[2].mutex_refs.isdisjoint(held)
+                       for entry in self._heap)
+        if not held:
             # no mutexes held: any ready task is runnable
             return bool(self._ready)
         return self._runnable_index() is not None
@@ -192,7 +211,11 @@ class Team:
         self._stats = stats
         self._remaining = len(graph.tasks)
         self._preds_left = [t.n_preds for t in graph.tasks]
-        self._ready.extend(graph.roots())
+        if self._use_heap:
+            for task in graph.roots():
+                self._push_ready(task)
+        else:
+            self._ready.extend(graph.roots())
         self._done = self.engine.event()
         self._hungry_notified = False
         self._dispatch()
@@ -247,7 +270,59 @@ class Team:
                 best_instr = instr
         return best
 
+    def _push_ready(self, task: Task) -> None:
+        """Add ``task`` to the LPT heap (seq = FIFO tie-break on equal work)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (-task._instr, self._seq, task))
+
+    def _dispatch_heap(self) -> None:
+        """Heap-backed dispatch, task-for-task identical to `_dispatch`.
+
+        With mutexes held, blocked heap entries are popped aside and pushed
+        back after the pick: each keeps its original seq, so future ordering
+        is unchanged.  With the default one-thread teams of the paper's
+        configurations, ``held`` is almost always empty here and a dispatch
+        is a single heappop.
+        """
+        heap = self._heap
+        held = self._held_refs
+        while self._active < self._max_workers and heap:
+            if not held:
+                task = heapq.heappop(heap)[2]
+            else:
+                blocked = []
+                task = None
+                while heap:
+                    entry = heapq.heappop(heap)
+                    if entry[2].mutex_refs.isdisjoint(held):
+                        task = entry[2]
+                        break
+                    blocked.append(entry)
+                for entry in blocked:
+                    heapq.heappush(heap, entry)
+                if task is None:
+                    break
+            if task.mutex_refs:
+                held |= task.mutex_refs     # in-place: held is _held_refs
+            self._active += 1
+            if self._stats is not None:
+                self._stats.max_concurrency = max(
+                    self._stats.max_concurrency, self._active)
+            if self._fast:
+                self.engine.defer(self._start_task, task)
+            else:
+                self.engine.process(self._worker(task),
+                                    name=f"{self.name}.{task.label}")
+        if self.listener is not None and self._graph is not None:
+            if self._active >= self._max_workers and heap:
+                if not self._hungry_notified:
+                    self._hungry_notified = True
+                    self.listener.on_team_hungry(self)
+
     def _dispatch(self) -> None:
+        if self._use_heap:
+            self._dispatch_heap()
+            return
         while self._active < self._max_workers:
             idx = self._runnable_index()
             if idx is None:
@@ -312,10 +387,16 @@ class Team:
         self._remaining -= 1
         graph = self._graph
         assert graph is not None
-        for succ in task.successors:
-            self._preds_left[succ] -= 1
-            if self._preds_left[succ] == 0:
-                self._ready.append(graph.tasks[succ])
+        if self._use_heap:
+            for succ in task.successors:
+                self._preds_left[succ] -= 1
+                if self._preds_left[succ] == 0:
+                    self._push_ready(graph.tasks[succ])
+        else:
+            for succ in task.successors:
+                self._preds_left[succ] -= 1
+                if self._preds_left[succ] == 0:
+                    self._ready.append(graph.tasks[succ])
         if self._remaining == 0:
             stats.t_end = self.engine.now
             done = self._done

@@ -1,10 +1,20 @@
 """Finite-element substrate: shape functions/quadrature, vectorized scalar
 and vector assembly with work meters, Dirichlet BCs, the VMS subgrid-scale
-update, and the fractional-step Navier-Stokes solver."""
+update, the fractional-step Navier-Stokes solver, and the shared
+static-geometry cache feeding the kernels."""
 
 from .assembly import AssemblyResult, assemble_operator, element_work_meters
 from .dirichlet import apply_dirichlet, apply_dirichlet_symmetric
 from .fractional_step import FlowBC, FractionalStepSolver, StepInfo
+from .geometry import (
+    ElementGeometry,
+    GeometryCache,
+    cache_budget_bytes,
+    cache_for,
+    drop_cache,
+    geometry_blocks,
+    set_cache_budget,
+)
 from .sgs import SGSState, update_sgs
 from .shape import ReferenceElement, reference_element
 from .vector import (
@@ -17,14 +27,21 @@ from .vector import (
 
 __all__ = [
     "AssemblyResult",
+    "ElementGeometry",
     "FlowBC",
     "FractionalStepSolver",
+    "GeometryCache",
     "ReferenceElement",
     "SGSState",
     "StepInfo",
     "apply_dirichlet",
     "apply_dirichlet_symmetric",
     "assemble_operator",
+    "cache_budget_bytes",
+    "cache_for",
+    "drop_cache",
+    "geometry_blocks",
+    "set_cache_budget",
     "deinterleave",
     "divergence_operator",
     "element_work_meters",

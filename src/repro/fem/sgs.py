@@ -22,6 +22,8 @@ import numpy as np
 
 from ..mesh.elements import ElementType, NODES_PER_TYPE
 from ..mesh.mesh import Mesh
+from ..perf import toggles as _perf_toggles
+from . import geometry as _geom
 from .shape import reference_element
 
 __all__ = ["SGSState", "update_sgs"]
@@ -56,6 +58,24 @@ def update_sgs(mesh: Mesh, state: SGSState, velocity: np.ndarray,
         element_ids = np.arange(mesh.nelem)
     element_ids = np.asarray(element_ids)
     values = state.values
+    if _perf_toggles.TOGGLES.geometry_cache:
+        # cached grads/vol are produced by the identical operation sequence
+        # (repro.fem.geometry), so this branch is bit-identical to the
+        # inline one below
+        for blk in _geom.geometry_blocks(mesh, element_ids):
+            ref = reference_element(blk.etype)
+            eids, conn, grads = blk.eids, blk.conn, blk.grads
+            ue = velocity[conn]                                # (ne, nn, 3)
+            h = np.cbrt(np.maximum(blk.vol, 1e-300))
+            uq = np.einsum("qa,eaj->eqj", ref.N, ue).mean(axis=1)
+            gradu = np.einsum("eqnj,enk->eqjk", grads, ue).mean(axis=1)
+            conv = np.einsum("ej,ejk->ek", uq, gradu)          # (ne, 3)
+            umag = np.linalg.norm(uq, axis=1)
+            inv_tau = _C1 * viscosity / h ** 2 + _C2 * umag / h
+            tau = 1.0 / (inv_tau + 1.0 / dt + 1e-30)
+            residual = -conv - values[eids] / dt
+            values[eids] = tau[:, None] * residual
+        return state
     etypes = mesh.elem_types[element_ids]
     for etype in ElementType:
         sel = etypes == etype

@@ -23,6 +23,8 @@ from scipy import sparse
 
 from ..mesh.elements import ElementType, NODES_PER_TYPE
 from ..mesh.mesh import Mesh
+from ..perf import toggles as _perf_toggles
+from . import geometry as _geom
 from .assembly import _geometry
 from .shape import reference_element
 
@@ -72,18 +74,27 @@ def vector_operator(mesh: Mesh, kappa: float = 0.0, mass_coeff: float = 0.0,
         shape=(3 * n, 3 * n)).tocsr()
 
 
-def _pressure_velocity_coupling(mesh: Mesh) -> sparse.csr_matrix:
-    """G[i, 3j+c] = integral N_i dN_j/dx_c dV  (the weak gradient)."""
+def _build_coupling(mesh: Mesh, use_geom: bool) -> sparse.csr_matrix:
+    """Assemble the (n x 3n) weak-gradient coupling matrix."""
     n = mesh.nnodes
     rows, cols, vals = [], [], []
-    for etype in ElementType:
-        ids = mesh.elements_of_type(etype)
-        if len(ids) == 0:
-            continue
+    if use_geom:
+        type_blocks = [(blk.etype, blk.conn, blk.grads, blk.dvol)
+                       for blk in _geom.geometry_blocks(mesh)]
+    else:
+        type_blocks = []
+        for etype in ElementType:
+            ids = mesh.elements_of_type(etype)
+            if len(ids) == 0:
+                continue
+            nn = NODES_PER_TYPE[etype]
+            ref = reference_element(etype)
+            conn = mesh.elem_nodes[ids][:, :nn]
+            grads, dvol = _geometry(mesh.coords, conn, ref)
+            type_blocks.append((etype, conn, grads, dvol))
+    for etype, conn, grads, dvol in type_blocks:
         nn = NODES_PER_TYPE[etype]
         ref = reference_element(etype)
-        conn = mesh.elem_nodes[ids][:, :nn]
-        grads, dvol = _geometry(mesh.coords, conn, ref)
         # Ge[e, a, b, c] = sum_q N_a(q) dN_b/dx_c(q) w_q |J|
         Ge = np.einsum("qa,eqbc,eq->eabc", ref.N, grads, dvol)
         for a in range(nn):
@@ -97,6 +108,24 @@ def _pressure_velocity_coupling(mesh: Mesh) -> sparse.csr_matrix:
          (np.concatenate(rows).astype(np.int64),
           np.concatenate(cols).astype(np.int64))),
         shape=(n, 3 * n)).tocsr()
+
+
+def _pressure_velocity_coupling(mesh: Mesh) -> sparse.csr_matrix:
+    """G[i, 3j+c] = integral N_i dN_j/dx_c dV  (the weak gradient).
+
+    With the ``geometry_cache`` toggle the assembled matrix itself is
+    cached per mesh (it is fully static), so the gradient and divergence
+    operators of one solver setup share a single build.  Treat the returned
+    matrix as read-only.
+    """
+    if _perf_toggles.TOGGLES.geometry_cache:
+        def build():
+            coupling = _build_coupling(mesh, use_geom=True)
+            nbytes = (coupling.data.nbytes + coupling.indices.nbytes
+                      + coupling.indptr.nbytes)
+            return coupling, nbytes
+        return _geom.cached_extra(mesh, "pv_coupling", build)
+    return _build_coupling(mesh, use_geom=False)
 
 
 def gradient_operator(mesh: Mesh) -> sparse.csr_matrix:

@@ -26,11 +26,25 @@ VTK_CELL_TYPES = {
 }
 _TYPE_OF_VTK = {v: k for k, v in VTK_CELL_TYPES.items()}
 
+# lookup arrays indexed by ElementType value, for vectorized writing
+_NN_OF_TYPE = np.zeros(max(ElementType) + 1, dtype=np.int64)
+_VTK_ID_OF_TYPE = np.zeros(max(ElementType) + 1, dtype=np.int64)
+for _t in ElementType:
+    _NN_OF_TYPE[_t] = NODES_PER_TYPE[_t]
+    _VTK_ID_OF_TYPE[_t] = VTK_CELL_TYPES[_t]
+
 
 def _open(dest: Union[str, TextIO], mode: str):
     if isinstance(dest, str):
         return open(dest, mode), True
     return dest, False
+
+
+def _write_block(fh: TextIO, lines) -> None:
+    """Write an iterable of lines as one joined string (single syscall)."""
+    block = "\n".join(lines)
+    if block:
+        fh.write(block + "\n")
 
 
 def write_vtk(mesh: Mesh, dest: Union[str, TextIO],
@@ -55,26 +69,26 @@ def write_vtk(mesh: Mesh, dest: Union[str, TextIO],
         fh.write("# vtk DataFile Version 3.0\n")
         fh.write(title.replace("\n", " ") + "\n")
         fh.write("ASCII\nDATASET UNSTRUCTURED_GRID\n")
+        # each block is built as one "\n".join and written in one call;
+        # tolist() hands python scalars to repr/str, so the bytes match the
+        # old per-row f-string loops exactly
         fh.write(f"POINTS {mesh.nnodes} double\n")
-        for x, y, z in mesh.coords:
-            fh.write(f"{float(x)!r} {float(y)!r} {float(z)!r}\n")
-        sizes = [NODES_PER_TYPE[ElementType(t)] for t in mesh.elem_types]
-        total = sum(s + 1 for s in sizes)
+        _write_block(fh, (" ".join(map(repr, row))
+                          for row in mesh.coords.tolist()))
+        sizes = _NN_OF_TYPE[mesh.elem_types]
+        total = int(sizes.sum()) + mesh.nelem
         fh.write(f"CELLS {mesh.nelem} {total}\n")
-        for e in range(mesh.nelem):
-            nodes = mesh.nodes_of(e)
-            fh.write(str(len(nodes)) + " "
-                     + " ".join(str(int(n)) for n in nodes) + "\n")
+        _write_block(fh, (f"{s} " + " ".join(map(str, row[:s]))
+                          for s, row in zip(sizes.tolist(),
+                                            mesh.elem_nodes.tolist())))
         fh.write(f"CELL_TYPES {mesh.nelem}\n")
-        for t in mesh.elem_types:
-            fh.write(f"{VTK_CELL_TYPES[ElementType(t)]}\n")
+        _write_block(fh, map(str, _VTK_ID_OF_TYPE[mesh.elem_types].tolist()))
         fh.write(f"CELL_DATA {mesh.nelem}\n")
         for name, values in data.items():
             kind = ("int" if np.issubdtype(values.dtype, np.integer)
                     else "double")
             fh.write(f"SCALARS {name} {kind} 1\nLOOKUP_TABLE default\n")
-            for v in values:
-                fh.write(f"{v}\n")
+            _write_block(fh, map(str, values.tolist()))
     finally:
         if owned:
             fh.close()

@@ -19,9 +19,19 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial import cKDTree
 
+from ..fem import geometry as _geom
 from ..mesh.mesh import Mesh
+from ..perf import toggles as _perf_toggles
 
 __all__ = ["MeshVelocityField"]
+
+
+def _shared_centroid_tree(mesh: Mesh) -> cKDTree:
+    """One centroid KD-tree per mesh, under geometry-cache invalidation."""
+    def build():
+        centroids = mesh.centroids()
+        return cKDTree(centroids), centroids.nbytes
+    return _geom.cached_extra(mesh, "centroid_tree", build)
 
 
 class MeshVelocityField:
@@ -43,7 +53,12 @@ class MeshVelocityField:
                 f"{nodal_velocity.shape}")
         self.mesh = mesh
         self.nodal_velocity = nodal_velocity
-        self._tree = cKDTree(mesh.centroids())
+        # toggle captured at construction (see repro.perf.toggles); the
+        # shared tree is identical to a private one — centroids are static
+        if _perf_toggles.TOGGLES.geometry_cache:
+            self._tree = _shared_centroid_tree(mesh)
+        else:
+            self._tree = cKDTree(mesh.centroids())
         # padded connectivity and a validity mask for vectorized gathers
         self._conn = mesh.elem_nodes
         self._valid = mesh.elem_nodes >= 0

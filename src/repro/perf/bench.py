@@ -9,13 +9,20 @@ Usage::
 
     PYTHONPATH=src python -m repro.perf.bench                 # full run
     PYTHONPATH=src python -m repro.perf.bench --quick         # CI smoke
-    PYTHONPATH=src python -m repro.perf.bench --compare BENCH_pr2.json
+    PYTHONPATH=src python -m repro.perf.bench --compare BENCH_pr3.json \
+        --baseline BENCH_pr2.json
 
 ``--compare`` exits non-zero when any benchmark is more than
 ``SLOWDOWN_TOLERANCE`` times slower than the committed baseline report —
 the CI perf-regression gate.  Quick mode runs the *same* workload sizes
 with fewer repeats and fewer end-to-end variants, so its timings remain
 comparable (within the 2x gate) to a committed full-mode report.
+
+``--baseline`` additionally gates the cross-PR *trajectory*: the current
+after-times are compared against the previous PR's committed report (its
+after-times are this PR's starting point) and the run fails if any
+``kernel`` benchmark regresses below 1.0x of that reference.  The
+comparison is recorded in the report's ``trajectory`` section.
 
 Every end-to-end benchmark also records a digest of the simulated-time
 results under both toggle states: the report itself re-checks the PR's
@@ -33,13 +40,14 @@ import sys
 import time
 from typing import Callable, Optional
 
-__all__ = ["run_benchmarks", "main", "SLOWDOWN_TOLERANCE"]
+__all__ = ["run_benchmarks", "trajectory_check", "main",
+           "SLOWDOWN_TOLERANCE"]
 
 #: --compare fails when current/baseline exceeds this per benchmark
 SLOWDOWN_TOLERANCE = 2.0
 
 _SCHEMA = "repro-bench-v1"
-_DEFAULT_OUT = "BENCH_pr2.json"
+_DEFAULT_OUT = "BENCH_pr3.json"
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -124,6 +132,27 @@ def _assembly_workload() -> str:
         res = assemble_operator(wl.mesh, kappa=1.9e-5,
                                 mass_coeff=1.15 / wl.spec.dt,
                                 velocity=wl.nodal_velocity)
+        digest.update(res.matrix.indices.tobytes())
+        digest.update(res.matrix.indptr.tobytes())
+        digest.update(res.scatter_counts.tobytes())
+        digest.update(res.element_nodes.tobytes())
+    return digest.hexdigest()
+
+
+def _assembly_constant_workload() -> str:
+    """Repeated assembly of the velocity-independent (continuity) operator.
+
+    With operator splitting this operator is fully constant: after the
+    first build every repeat reduces to a cached-data copy, so this row
+    isolates the assembled-once path from the incremental one.
+    """
+    from ..fem import assemble_operator
+
+    wl = _workload()
+    digest = hashlib.sha256()
+    for _ in range(5):
+        res = assemble_operator(wl.mesh, kappa=1.9e-5,
+                                mass_coeff=1.15 / wl.spec.dt)
         digest.update(res.matrix.indices.tobytes())
         digest.update(res.matrix.indptr.tobytes())
         digest.update(res.scatter_counts.tobytes())
@@ -224,10 +253,14 @@ def _benchmark_table(quick: bool) -> list[dict]:
         {"name": "collectives", "kind": "micro",
          "fn": _collectives_workload, "units": None},
         {"name": "assembly", "kind": "kernel",
-         "fn": _assembly_workload, "units": "elements",
+         "fn": _assembly_workload, "units": "elements", "warmup": True,
+         "unit_count": lambda: 5 * _workload().mesh.nelem},
+        {"name": "assembly_constant", "kind": "kernel",
+         "fn": _assembly_constant_workload, "units": "elements",
+         "warmup": True,
          "unit_count": lambda: 5 * _workload().mesh.nelem},
         {"name": "sgs", "kind": "kernel",
-         "fn": _sgs_workload, "units": "elements",
+         "fn": _sgs_workload, "units": "elements", "warmup": True,
          "unit_count": lambda: 10 * _workload().mesh.nelem},
         {"name": "particle_location", "kind": "kernel",
          "fn": _particles_workload, "units": "particles",
@@ -285,8 +318,16 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
         setup = row.get("setup")
         if setup is not None:
             setup()  # toggle-neutral precompute, kept out of the timings
+        # cache-exercising kernels get one untimed call per toggle state:
+        # the timing then covers the steady state even at --quick's single
+        # repeat (full mode's best-of already lands on warm calls)
+        warmup = row.get("warmup", False)
         with baseline():
+            if warmup:
+                fn()
             before_s, before_res = _best_of(fn, repeats)
+        if warmup:
+            fn()
         after_s, after_res = _best_of(fn, repeats)
         entry = {
             "name": name,
@@ -360,6 +401,39 @@ def compare_reports(current: dict, reference: dict,
     return failures
 
 
+def trajectory_check(current: dict, reference: dict) -> tuple[dict, list[str]]:
+    """Cross-PR trajectory: current after-times vs the previous PR's report.
+
+    Returns ``(trajectory, failures)`` where ``trajectory`` maps benchmark
+    names to reference/current after-times and the speedup between them,
+    and ``failures`` lists every ``kernel`` benchmark whose speedup against
+    the reference dropped below 1.0 (i.e. this PR made a kernel slower
+    than the committed state it started from).  Benchmarks missing from
+    either report — e.g. rows introduced by this PR — are skipped.
+    """
+    ref_by_name = {b["name"]: b for b in reference.get("benchmarks", [])}
+    trajectory: dict = {}
+    failures = []
+    for b in current.get("benchmarks", []):
+        ref = ref_by_name.get(b["name"])
+        if ref is None:
+            continue
+        ref_s, cur_s = ref["after_seconds"], b["after_seconds"]
+        if ref_s <= 0 or cur_s <= 0:
+            continue
+        speedup = round(ref_s / cur_s, 3)
+        trajectory[b["name"]] = {
+            "reference_after_seconds": ref_s,
+            "after_seconds": cur_s,
+            "speedup_vs_reference": speedup,
+        }
+        if b["kind"] == "kernel" and speedup < 1.0:
+            failures.append(
+                f"{b['name']}: kernel speedup vs reference {speedup:.3f}x "
+                f"< 1.0x ({cur_s:.3f}s vs {ref_s:.3f}s)")
+    return trajectory, failures
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf.bench",
@@ -376,9 +450,22 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="fail (exit 1) if any benchmark is "
                              f">{SLOWDOWN_TOLERANCE}x slower than this "
                              "reference report")
+    parser.add_argument("--baseline", metavar="REFERENCE_JSON", default=None,
+                        help="previous PR's committed report; records the "
+                             "cross-PR trajectory in the output and fails "
+                             "(exit 1) if any kernel benchmark regresses "
+                             "below 1.0x of it")
     args = parser.parse_args(argv)
 
+    trajectory_failures: list[str] = []
     report = run_benchmarks(quick=args.quick, repeats=args.repeats)
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline_report = json.load(fh)
+        trajectory, trajectory_failures = trajectory_check(
+            report, baseline_report)
+        report["trajectory"] = {"reference": args.baseline,
+                                "benchmarks": trajectory}
     text = json.dumps(report, indent=2, sort_keys=False)
     if args.out == "-":
         print(text)
@@ -401,6 +488,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                 print(f"[bench] REGRESSION: {line}", file=sys.stderr)
             return 1
         print(f"[bench] within {SLOWDOWN_TOLERANCE}x of {args.compare}")
+    if args.baseline:
+        if trajectory_failures:
+            for line in trajectory_failures:
+                print(f"[bench] REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"[bench] trajectory holds vs {args.baseline}")
     return 0
 
 

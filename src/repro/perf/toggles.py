@@ -1,4 +1,4 @@
-"""Runtime switches for the PR 2 hot-path optimizations.
+"""Runtime switches for the performance-layer hot-path optimizations.
 
 Every optimization added by the performance layer is gated behind a toggle
 so the benchmark harness (:mod:`repro.perf.bench`) can measure *before* and
@@ -49,6 +49,25 @@ class Toggles:
     #: particles; frozen (deposited/escaped) particles keep their cached
     #: element assignment.
     locator_active_only: bool = True
+    #: ``fem.geometry``: per-(mesh, element-set) static-geometry cache
+    #: (Jacobian gradients, |J| dV, element volumes/size) shared by
+    #: ``fem.assembly``, ``fem.sgs``, ``fem.vector`` and
+    #: ``particles.interpolation`` (centroid KD-tree).
+    geometry_cache: bool = True
+    #: ``fem.assembly``: operator-split incremental assembly — the constant
+    #: mass/diffusion blocks (and the fully constant continuity operator)
+    #: are assembled once per (mesh, element set); each call re-assembles
+    #: only the velocity-dependent convection + stabilization part.
+    #: Engages only together with ``assembly_pattern_cache`` (the split
+    #: scatters through the cached CSR pattern).
+    operator_split: bool = True
+    #: ``core.runtime``: heap-backed LPT ready queue (O(log n) dispatch
+    #: instead of a linear argmax scan per task).
+    scheduler_heap: bool = True
+    #: ``app.driver``: reuse the per-rank task graphs and exchange topology
+    #: of a run configuration across ``run_cfpd`` calls (graphs are
+    #: stateless between executions; all execution state lives in ``Team``).
+    driver_graph_cache: bool = True
 
 
 #: process-wide current toggle state

@@ -42,7 +42,9 @@ class TestToggles:
         assert all(getattr(t, f) for f in
                    ("engine_fast_path", "runtime_fast_path",
                     "comm_fast_path", "assembly_pattern_cache",
-                    "locator_active_only"))
+                    "locator_active_only", "geometry_cache",
+                    "operator_split", "scheduler_heap",
+                    "driver_graph_cache"))
 
     def test_baseline_turns_everything_off_and_restores(self):
         before = toggles_mod.TOGGLES

@@ -70,3 +70,30 @@ class TestBitIdenticalBeforeAfter:
             f"{name}: simulated-time metrics changed by the fast paths")
         assert c_before == c_after, (
             f"{name}: checkpoint bytes changed by the fast paths")
+
+
+@pytest.fixture(scope="module")
+def default_digests(tmp_path_factory):
+    """Digest + checkpoint bytes of a defaults run, once per config."""
+    base = tmp_path_factory.mktemp("defaults")
+    return {name: _run(kwargs, base / f"{name}.ckpt")
+            for name, kwargs in CONFIGS.items()}
+
+
+class TestPerToggleBisection:
+    """Each PR 3 toggle can be flipped off alone without changing any
+    simulated result — the property the bisection workflow relies on."""
+
+    @pytest.mark.parametrize("toggle", ["geometry_cache", "operator_split",
+                                        "scheduler_heap",
+                                        "driver_graph_cache"])
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_single_toggle_off_is_identical(self, toggle, name, tmp_path,
+                                            default_digests):
+        with toggles_mod.configured(**{toggle: False}):
+            d_off, c_off = _run(CONFIGS[name], tmp_path / "off.ckpt")
+        d_ref, c_ref = default_digests[name]
+        assert d_off == d_ref, (
+            f"{name}: simulated-time metrics depend on toggle {toggle}")
+        assert c_off == c_ref, (
+            f"{name}: checkpoint bytes depend on toggle {toggle}")
