@@ -53,15 +53,34 @@ class MeshVelocityField:
                 f"{nodal_velocity.shape}")
         self.mesh = mesh
         self.nodal_velocity = nodal_velocity
-        # toggle captured at construction (see repro.perf.toggles); the
+        # toggles captured at construction (see repro.perf.toggles); the
         # shared tree is identical to a private one — centroids are static
         if _perf_toggles.TOGGLES.geometry_cache:
             self._tree = _shared_centroid_tree(mesh)
         else:
             self._tree = cKDTree(mesh.centroids())
+        self._fused = _perf_toggles.TOGGLES.particle_fused_step
         # padded connectivity and a validity mask for vectorized gathers
         self._conn = mesh.elem_nodes
         self._valid = mesh.elem_nodes >= 0
+        self._ws: dict = {}
+
+    def _buffers(self, n: int) -> dict:
+        """Reusable (capacity, 6[, 3]) buffers for the fused gather path."""
+        ws = self._ws
+        if not ws or ws["capacity"] < n:
+            cap = max(n, 2 * ws.get("capacity", 0))
+            nn = self._conn.shape[1]
+            ws = self._ws = {
+                "capacity": cap,
+                "xyz": np.empty((cap, nn, 3)),
+                "d": np.empty((cap, nn)),
+                "w": np.empty((cap, nn)),
+                "wsum": np.empty((cap, 1)),
+                "vel": np.empty((cap, nn, 3)),
+                "out": np.empty((cap, 3)),
+            }
+        return ws
 
     def velocity(self, points: np.ndarray) -> np.ndarray:
         """(n, 3) interpolated velocity at ``points``.
@@ -77,6 +96,8 @@ class MeshVelocityField:
         conn = self._conn[eids]                      # (n, 6)
         valid = self._valid[eids]                    # (n, 6)
         safe_conn = np.where(valid, conn, 0)
+        if self._fused:
+            return self._interpolate_fused(points, valid, safe_conn)
         node_xyz = self.mesh.coords[safe_conn]       # (n, 6, 3)
         d = np.linalg.norm(node_xyz - points[:, None, :], axis=2)
         w = np.where(valid, 1.0 / np.maximum(d, 1e-15), 0.0)
@@ -84,10 +105,34 @@ class MeshVelocityField:
         vel = self.nodal_velocity[safe_conn]         # (n, 6, 3)
         return np.einsum("nk,nkj->nj", w, vel)
 
+    def _interpolate_fused(self, points: np.ndarray, valid: np.ndarray,
+                           safe_conn: np.ndarray) -> np.ndarray:
+        """The inverse-distance combine through preallocated buffers —
+        identical op sequence to the allocating path, bit-identical
+        output (toggle ``particle_fused_step``)."""
+        n = len(points)
+        ws = self._buffers(n)
+        xyz = ws["xyz"][:n]
+        d, w, wsum = ws["d"][:n], ws["w"][:n], ws["wsum"][:n]
+        vel = ws["vel"][:n]
+        self.mesh.coords.take(safe_conn, axis=0, out=xyz)
+        np.subtract(xyz, points[:, None, :], out=xyz)
+        # np.linalg.norm(..., axis=2): x*x, add.reduce, sqrt
+        np.multiply(xyz, xyz, out=xyz)
+        np.add.reduce(xyz, axis=2, out=d)
+        np.sqrt(d, out=d)
+        np.maximum(d, 1e-15, out=d)
+        np.divide(1.0, d, out=d)
+        np.multiply(d, valid, out=w)     # where(valid, 1/max(d,eps), 0)
+        np.add.reduce(w, axis=1, out=wsum[:, 0])
+        np.divide(w, wsum, out=w)
+        self.nodal_velocity.take(safe_conn, axis=0, out=vel)
+        return np.einsum("nk,nkj->nj", w, vel, out=ws["out"][:n]).copy()
+
     def host_elements(self, points: np.ndarray) -> np.ndarray:
         """Host element id per point (nearest centroid)."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         if len(points) == 0:
-            return np.zeros(0, dtype=np.int64)
+            return np.zeros(0, dtype=np.intp)
         _, eids = self._tree.query(points)
-        return eids
+        return eids.astype(np.intp, copy=False)

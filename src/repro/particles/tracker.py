@@ -81,6 +81,12 @@ class ParticleState:
         """Append another population in place (repeated injections — the
         paper's pollutant-inhalation scenario injects particles several
         times during the simulation)."""
+        if self.n == 0:
+            # an empty population carries no dispersity commitment; adopt
+            # the incoming one (a zero-length polydisperse remnant from an
+            # earlier extend must not survive into a monodisperse append,
+            # or ``diameter`` falls out of sync with ``status``)
+            self.diameter = None
         if (self.diameter is None) != (other.diameter is None) and self.n:
             raise ValueError(
                 "cannot mix mono- and polydisperse populations")
@@ -92,6 +98,21 @@ class ParticleState:
             base = (self.diameter if self.diameter is not None
                     else np.zeros(0))
             self.diameter = np.concatenate([base, other.diameter])
+        self.check_invariants()
+
+    def check_invariants(self) -> None:
+        """Raise if array lengths fell out of sync (defensive guard)."""
+        n = self.n
+        for name in ("x", "v", "a"):
+            arr = getattr(self, name)
+            if arr.shape != (n, 3):
+                raise ValueError(
+                    f"ParticleState.{name} has shape {arr.shape}, "
+                    f"expected ({n}, 3)")
+        if self.diameter is not None and self.diameter.shape != (n,):
+            raise ValueError(
+                f"ParticleState.diameter has length "
+                f"{len(self.diameter)}, expected {n}")
 
 
 def inject_at_inlet(airway: AirwayMesh, n_particles: int,
@@ -136,6 +157,21 @@ def inject_at_inlet(airway: AirwayMesh, n_particles: int,
                          diameter=diameters)
 
 
+class _NewmarkBuffers:
+    """Preallocated buffers for the fused Newmark update (one per tracker,
+    grown to the largest active count seen; sliced per step)."""
+
+    def __init__(self, n: int):
+        self.capacity = n
+        self.k1 = np.empty((n, 1))
+        self.denom = np.empty((n, 1))
+        self.t1 = np.empty((n, 3))
+        self.t2 = np.empty((n, 3))
+        self.v1 = np.empty((n, 3))
+        self.a1 = np.empty((n, 3))
+        self.x1 = np.empty((n, 3))
+
+
 class NewmarkTracker:
     """Newmark time integrator for particle transport.
 
@@ -156,50 +192,190 @@ class NewmarkTracker:
         self.gamma = gamma
         self._g_eff = gravity_buoyancy_acceleration(self.particles,
                                                     self.fluid)
+        # toggles captured at construction (long-lived object)
+        self._compact = _perf_toggles.TOGGLES.particle_compaction
+        self._fused = _perf_toggles.TOGGLES.particle_fused_step
+        # locate reuse needs the split locate/velocity API; other carrier
+        # fields (e.g. MeshVelocityField hybrids) keep the plain path
+        self._fused_velocity = (self._fused
+                                and hasattr(flow, "velocity_from_locate"))
+        # active-set compaction: a stable permutation of particle ids with
+        # the active ones in a contiguous prefix; frozen particles swap to
+        # the tail once.  ``_status_ref`` detects external status edits.
+        self._order: Optional[np.ndarray] = None
+        self._nact = 0
+        self._status_ref: Optional[np.ndarray] = None
+        # cross-step locate reuse (fused): the boundary pass locates every
+        # active particle's *post-move* position; those positions are
+        # exactly what the next step's velocity evaluation locates again.
+        # Cached per absolute particle id; a bitwise position comparison
+        # guards against external mutation, so reuse is exact.
+        self._loc_x: Optional[np.ndarray] = None      # (n, 3)
+        self._loc_seg: Optional[np.ndarray] = None    # (n,)
+        self._loc_radial: Optional[np.ndarray] = None  # (n,)
+        self._loc_valid: Optional[np.ndarray] = None  # (n,) bool
+        self._newmark_ws: Optional[_NewmarkBuffers] = None
+
+    def _active_indices(self, state: ParticleState) -> np.ndarray:
+        """Ids of active particles — ascending, or the compacted prefix."""
+        if not self._compact:
+            return np.nonzero(state.status == STATUS_ACTIVE)[0]
+        n = state.n
+        if (self._order is None or len(self._order) != n
+                or not np.array_equal(state.status, self._status_ref)):
+            # (re)build: injections or external status edits invalidate
+            active = np.nonzero(state.status == STATUS_ACTIVE)[0]
+            rest = np.nonzero(state.status != STATUS_ACTIVE)[0]
+            self._order = np.concatenate([active, rest])
+            self._nact = len(active)
+            self._status_ref = state.status.copy()
+        return self._order[:self._nact]
+
+    def _fluid_velocity(self, state: ParticleState, idx: np.ndarray,
+                        x: np.ndarray) -> np.ndarray:
+        """Carrier velocity at ``x`` (= ``state.x[idx]``).
+
+        Fused path: rows whose position is bitwise-equal to the one the
+        previous boundary pass located reuse that locate result — the
+        velocity profile is then applied through
+        :meth:`AirwayFlow.velocity_from_locate`, the exact op sequence of
+        :meth:`AirwayFlow.velocity`.
+        """
+        if not self._fused_velocity:
+            return self.flow.velocity(x)
+        n = state.n
+        if self._loc_valid is None or len(self._loc_valid) != n:
+            self._loc_x = np.zeros((n, 3))
+            self._loc_seg = np.zeros(n, dtype=np.intp)
+            self._loc_radial = np.zeros(n)
+            self._loc_valid = np.zeros(n, dtype=bool)
+        ok = self._loc_valid[idx]
+        np.logical_and(ok, (self._loc_x[idx] == x).all(axis=1), out=ok)
+        if ok.all():
+            seg_idx = self._loc_seg[idx]
+            radial = self._loc_radial[idx]
+        elif not ok.any():
+            seg_idx, _, radial = self.flow.locate(x)
+        else:
+            seg_idx = np.empty(len(idx), dtype=np.intp)
+            radial = np.empty(len(idx))
+            hit = idx[ok]
+            seg_idx[ok] = self._loc_seg[hit]
+            radial[ok] = self._loc_radial[hit]
+            miss = ~ok
+            s_m, _, r_m = self.flow.locate(x[miss])
+            seg_idx[miss] = s_m
+            radial[miss] = r_m
+        return self.flow.velocity_from_locate(seg_idx, radial)
 
     def step(self, state: ParticleState, dt: float) -> ParticleState:
         """Advance active particles by ``dt`` and apply wall/outlet rules."""
-        act = state.active
-        if not act.any():
+        idx = self._active_indices(state)
+        if len(idx) == 0:
             return state
-        x, v, a = state.x[act], state.v[act], state.a[act]
+        x, v, a = state.x[idx], state.v[idx], state.a[idx]
         if state.diameter is not None:
-            d = state.diameter[act]
+            d = state.diameter[idx]
             m = particle_mass(d, self.particles.density)[:, None]
         else:
-            d = np.full(act.sum(), self.particles.diameter)
+            d = np.full(len(idx), self.particles.diameter)
             m = self.particles.mass
-        u_f = self.flow.velocity(x)
+        u_f = self._fluid_velocity(state, idx, x)
         k = drag_linear_coefficient_d(u_f, v, d, self.fluid)[:, None]
         # Newmark: v1 = v + dt[(1-g) a0 + g a1],  a1 = (k (u_f - v1))/m + g_eff
         # solve for v1 (k treated constant over the step):
         #   v1 (1 + g dt k/m) = v + dt (1-g) a0 + g dt (k u_f / m + g_eff)
         gdt = self.gamma * dt
-        denom = 1.0 + gdt * k / m
-        v1 = (v + dt * (1.0 - self.gamma) * a
-              + gdt * (k * u_f / m + self._g_eff)) / denom
-        a1 = k * (u_f - v1) / m + self._g_eff
-        x1 = (x + dt * v
-              + dt * dt * ((0.5 - self.beta) * a + self.beta * a1))
-        state.x[act], state.v[act], state.a[act] = x1, v1, a1
-        self._apply_boundaries(state)
+        if self._fused:
+            x1, v1, a1 = self._newmark_fused(x, v, a, u_f, k, m, dt, gdt)
+        else:
+            denom = 1.0 + gdt * k / m
+            v1 = (v + dt * (1.0 - self.gamma) * a
+                  + gdt * (k * u_f / m + self._g_eff)) / denom
+            a1 = k * (u_f - v1) / m + self._g_eff
+            x1 = (x + dt * v
+                  + dt * dt * ((0.5 - self.beta) * a + self.beta * a1))
+        state.x[idx], state.v[idx], state.a[idx] = x1, v1, a1
+        self._apply_boundaries(state, idx, x1)
         return state
 
-    def _apply_boundaries(self, state: ParticleState) -> None:
-        act = state.active
-        if not act.any():
+    def _newmark_fused(self, x, v, a, u_f, k, m, dt, gdt):
+        """The Newmark update through preallocated buffers.
+
+        Every ``out=`` ufunc call mirrors one node of the baseline
+        expression tree; the only reorderings are scalar-side swaps of
+        commutative IEEE add/multiply, which are bitwise-exact.
+        """
+        n = len(x)
+        w = self._newmark_ws
+        if w is None or w.capacity < n:
+            w = self._newmark_ws = _NewmarkBuffers(
+                max(n, 2 * (w.capacity if w else 0)))
+        k1, denom = w.k1[:n], w.denom[:n]
+        t1, t2 = w.t1[:n], w.t2[:n]
+        v1, a1, x1 = w.v1[:n], w.a1[:n], w.x1[:n]
+        # denom = 1.0 + gdt * k / m
+        np.multiply(k, gdt, out=k1)
+        np.divide(k1, m, out=k1)
+        np.add(k1, 1.0, out=denom)
+        # v1 = (v + dt (1-g) a + gdt (k u_f / m + g_eff)) / denom
+        np.multiply(k, u_f, out=t1)
+        np.divide(t1, m, out=t1)
+        np.add(t1, self._g_eff, out=t1)
+        np.multiply(t1, gdt, out=t1)
+        np.multiply(a, dt * (1.0 - self.gamma), out=t2)
+        np.add(v, t2, out=t2)
+        np.add(t2, t1, out=t2)
+        np.divide(t2, denom, out=v1)
+        # a1 = k (u_f - v1) / m + g_eff
+        np.subtract(u_f, v1, out=t1)
+        np.multiply(k, t1, out=t1)
+        np.divide(t1, m, out=t1)
+        np.add(t1, self._g_eff, out=a1)
+        # x1 = x + dt v + dt^2 ((0.5-b) a + b a1)
+        np.multiply(a, 0.5 - self.beta, out=t1)
+        np.multiply(a1, self.beta, out=t2)
+        np.add(t1, t2, out=t1)
+        np.multiply(t1, dt * dt, out=t1)
+        np.multiply(v, dt, out=t2)
+        np.add(x, t2, out=t2)
+        np.add(t2, t1, out=x1)
+        return x1, v1, a1
+
+    def _apply_boundaries(self, state: ParticleState,
+                          idx: Optional[np.ndarray] = None,
+                          x1: Optional[np.ndarray] = None) -> None:
+        if idx is None:
+            idx = self._active_indices(state)
+        if len(idx) == 0:
             return
-        idx = np.nonzero(act)[0]
-        seg_idx, axial, radial = self.flow.locate(state.x[act])
+        if x1 is None:
+            x1 = state.x[idx]
+        seg_idx, axial, radial = self.flow.locate(x1)
         deposited = radial >= 1.0
         at_outlet = (self.flow.is_terminal(seg_idx) & (axial >= 1.0 - 1e-9)
                      & ~deposited)
         state.status[idx[deposited]] = STATUS_DEPOSITED
         state.status[idx[at_outlet]] = STATUS_ESCAPED
         # freeze non-active particles
-        frozen = idx[deposited | at_outlet]
+        frozen_mask = deposited | at_outlet
+        frozen = idx[frozen_mask]
         state.v[frozen] = 0.0
         state.a[frozen] = 0.0
+        if (self._fused_velocity and self._loc_valid is not None
+                and len(self._loc_valid) == state.n):
+            self._loc_x[idx] = x1
+            self._loc_seg[idx] = seg_idx
+            self._loc_radial[idx] = radial
+            self._loc_valid[idx] = True
+        if self._compact and self._order is not None and len(frozen):
+            # stable swap-to-tail: survivors keep their relative order,
+            # the newly frozen join the head of the frozen tail
+            keep = idx[~frozen_mask]
+            self._order[:len(keep)] = keep
+            self._order[len(keep):self._nact] = frozen
+            self._nact = len(keep)
+            self._status_ref[frozen] = state.status[frozen]
 
 
 class ElementLocator:
@@ -212,21 +388,28 @@ class ElementLocator:
 
     def __init__(self, airway: AirwayMesh, labels: Optional[np.ndarray] = None):
         self.mesh = airway.mesh
-        self._tree = cKDTree(self.mesh.centroids())
+        self._centroids = self.mesh.centroids()
+        self._tree = cKDTree(self._centroids)
         self.labels = labels
-        self._fast = _perf_toggles.TOGGLES.locator_active_only
+        self._warm = _perf_toggles.TOGGLES.particle_warm_start
+        # warm-start subsumes the PR 2 frozen-particle cache
+        self._fast = _perf_toggles.TOGGLES.locator_active_only or self._warm
+        self._adj = None          # ElementAdjacency, built on first warm use
         # Per-particle element cache for population-level queries: a frozen
         # (deposited/escaped) particle never moves again, so its element is
-        # located once and reused every subsequent step.
+        # located once and reused every subsequent step.  ``_cached_eids``
+        # doubles as the warm-start host guess for particles whose host was
+        # located on *any* earlier call (``_host_known``).
         self._cached_eids = np.zeros(0, dtype=np.intp)
         self._cached_valid = np.zeros(0, dtype=bool)
+        self._host_known = np.zeros(0, dtype=bool)
 
     def elements_of(self, points: np.ndarray) -> np.ndarray:
         """Nearest element id for each point."""
         if len(points) == 0:
-            return np.zeros(0, dtype=np.int64)
+            return np.zeros(0, dtype=np.intp)
         _, eids = self._tree.query(points)
-        return eids
+        return eids.astype(np.intp, copy=False)
 
     def elements_of_state(self, state: "ParticleState") -> np.ndarray:
         """Nearest element id for each particle of ``state`` (any status).
@@ -257,12 +440,34 @@ class ElementLocator:
                 [self._cached_eids, np.zeros(grow, dtype=np.intp)])
             self._cached_valid = np.concatenate(
                 [self._cached_valid, np.zeros(grow, dtype=bool)])
+            self._host_known = np.concatenate(
+                [self._host_known, np.zeros(grow, dtype=bool)])
         eids = self._cached_eids[:n]
         valid = self._cached_valid[:n]
         need = active | ~valid
         if need.any():
-            _, found = self._tree.query(state.x[need])
-            eids[need] = found
+            need_idx = np.nonzero(need)[0]
+            if self._warm:
+                if self._adj is None:
+                    from ..fem.geometry import element_adjacency
+                    from .locator_fast import squared_radii
+                    self._adj = element_adjacency(self.mesh)
+                    self._r2 = squared_radii(self._adj)
+                known = self._host_known[need_idx]
+                warm_idx = need_idx[known]
+                cold_idx = need_idx[~known]
+                if len(warm_idx):
+                    from .locator_fast import warm_locate
+                    found, _ = warm_locate(
+                        self._tree, self._centroids, self._adj,
+                        state.x[warm_idx], eids[warm_idx], r2=self._r2)
+                    eids[warm_idx] = found
+            else:
+                cold_idx = need_idx
+            if len(cold_idx):
+                _, found = self._tree.query(state.x[cold_idx])
+                eids[cold_idx] = found
+            self._host_known[need_idx] = True
             # frozen particles just located stay cached; active ones move
             # and must be re-queried next call
             valid[need] = ~active[need]

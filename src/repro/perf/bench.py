@@ -46,8 +46,14 @@ __all__ = ["run_benchmarks", "trajectory_check", "main",
 #: --compare fails when current/baseline exceeds this per benchmark
 SLOWDOWN_TOLERANCE = 2.0
 
+#: --baseline floor used in --quick mode: a single-repeat smoke time is
+#: systematically slower than the committed report's best-of-N reference,
+#: so the trajectory gate only fails below this ratio.  Full mode stays
+#: strict at 1.0.
+TRAJECTORY_NOISE_FLOOR = 0.9
+
 _SCHEMA = "repro-bench-v1"
-_DEFAULT_OUT = "BENCH_pr3.json"
+_DEFAULT_OUT = "BENCH_pr4.json"
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -174,15 +180,23 @@ def _sgs_workload() -> float:
     return float(np.linalg.norm(state.values))
 
 
+#: population after the coarse pre-roll; shared starting point of every
+#: particle benchmark row (toggle-neutral: trackers are bit-identical
+#: across toggle states, which ``tests/test_perf_identical.py`` enforces)
+_PARTICLE_PREROLL: Optional[tuple] = None
+
 #: precomputed (positions, status) per step of a depositing trajectory;
 #: built once by :func:`_particle_snapshots` so the timed benchmark covers
 #: only the element-location work, not the Newmark integration
 _PARTICLE_SNAPSHOTS: Optional[list] = None
 
 
-def _particle_snapshots() -> list:
-    global _PARTICLE_SNAPSHOTS
-    if _PARTICLE_SNAPSHOTS is None:
+def _particle_preroll() -> tuple:
+    """(x, v, a, status) after 60 coarse steps (dt = 1e-3) of a 20x
+    population: a realistic fraction has deposited, the rest has spread
+    down the tree — the regime the particle fast paths target."""
+    global _PARTICLE_PREROLL
+    if _PARTICLE_PREROLL is None:
         from ..particles import (FluidProperties, NewmarkTracker,
                                  ParticleProperties, ParticleState,
                                  inject_at_inlet)
@@ -192,15 +206,76 @@ def _particle_snapshots() -> list:
                                  fluid=FluidProperties())
         state = ParticleState.empty()
         state.extend(inject_at_inlet(wl.airway, 20 * wl.n_particles, seed=7))
-        snaps = []
-        # coarser dt than the simulation so a realistic fraction of the
-        # population deposits over the trajectory — the regime the
-        # active-only locator fast path targets
         for _ in range(60):
             tracker.step(state, 1e-3)
+        _PARTICLE_PREROLL = (state.x.copy(), state.v.copy(),
+                             state.a.copy(), state.status.copy())
+    return _PARTICLE_PREROLL
+
+
+def _preroll_state():
+    """A fresh mutable :class:`ParticleState` copy of the pre-roll."""
+    from ..particles import ParticleState
+
+    x, v, a, status = _particle_preroll()
+    return ParticleState(x=x.copy(), v=v.copy(), a=a.copy(),
+                         status=status.copy())
+
+
+def _particle_snapshots() -> list:
+    global _PARTICLE_SNAPSHOTS
+    if _PARTICLE_SNAPSHOTS is None:
+        from ..particles import (FluidProperties, NewmarkTracker,
+                                 ParticleProperties)
+
+        wl = _workload()
+        tracker = NewmarkTracker(wl.flow, particles=ParticleProperties(),
+                                 fluid=FluidProperties())
+        state = _preroll_state()
+        snaps = []
+        # the simulation dt from the pre-rolled population: frozen
+        # particles dominate and the movers drift a fraction of an
+        # element per step — the regime the locator fast paths target
+        for _ in range(60):
+            tracker.step(state, 1e-4)
             snaps.append((state.x.copy(), state.status.copy()))
         _PARTICLE_SNAPSHOTS = snaps
     return _PARTICLE_SNAPSHOTS
+
+
+def _tracker_step_workload() -> str:
+    """60 transport steps at the simulation dt from the pre-rolled
+    population (fresh tracker per call — toggles captured at
+    construction); digest covers the full final particle state."""
+    import numpy as np
+
+    from ..particles import (FluidProperties, NewmarkTracker,
+                             ParticleProperties)
+
+    wl = _workload()
+    tracker = NewmarkTracker(wl.flow, particles=ParticleProperties(),
+                             fluid=FluidProperties())
+    state = _preroll_state()
+    for _ in range(60):
+        tracker.step(state, 1e-4)
+    digest = hashlib.sha256()
+    for arr in (state.x, state.v, state.a, state.status):
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+def _interpolation_workload() -> str:
+    """Mesh-field velocity interpolation at the pre-rolled particle
+    positions (fresh field per call — toggles captured at construction)."""
+    from ..particles.interpolation import MeshVelocityField
+
+    wl = _workload()
+    field = MeshVelocityField(wl.mesh, wl.nodal_velocity)
+    x = _particle_preroll()[0]
+    digest = hashlib.sha256()
+    for _ in range(10):
+        digest.update(field.velocity(x).tobytes())
+    return digest.hexdigest()
 
 
 def _particles_workload() -> str:
@@ -263,9 +338,17 @@ def _benchmark_table(quick: bool) -> list[dict]:
          "fn": _sgs_workload, "units": "elements", "warmup": True,
          "unit_count": lambda: 10 * _workload().mesh.nelem},
         {"name": "particle_location", "kind": "kernel",
-         "fn": _particles_workload, "units": "particles",
-         "setup": _particle_snapshots,
+         "fn": _particles_workload, "units": "particles", "warmup": True,
+         "setup": _particle_snapshots, "min_speedup": 1.2,
          "unit_count": lambda: 4 * 60 * 20 * _workload().n_particles},
+        {"name": "tracker_step", "kind": "kernel",
+         "fn": _tracker_step_workload, "units": "particle_steps",
+         "warmup": True, "setup": _particle_preroll, "min_speedup": 2.0,
+         "unit_count": lambda: 60 * 20 * _workload().n_particles},
+        {"name": "interpolation", "kind": "kernel",
+         "fn": _interpolation_workload, "units": "points", "warmup": True,
+         "setup": _particle_preroll,
+         "unit_count": lambda: 10 * 20 * _workload().n_particles},
         {"name": "run_cfpd_sync", "kind": "end_to_end",
          "fn": lambda: _run_cfpd_digest(), "units": None},
         {"name": "run_cfpd_coupled", "kind": "end_to_end",
@@ -336,6 +419,8 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
             "after_seconds": round(after_s, 6),
             "speedup": round(before_s / after_s, 3) if after_s > 0 else None,
         }
+        if "min_speedup" in row:
+            entry["min_speedup"] = row["min_speedup"]
         if row.get("units"):
             # engine_events reports its own processed-event count; kernels
             # declare their unit counts in the table
@@ -360,6 +445,9 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
                   f"speedup={entry['speedup']}x", flush=True)
     digests = [b["simulated_digest"]["identical"] for b in benchmarks
                if "simulated_digest" in b]
+    gated = [b for b in benchmarks if "min_speedup" in b]
+    gates_ok = all(b["speedup"] is not None
+                   and b["speedup"] >= b["min_speedup"] for b in gated)
     default_e2e = next((b for b in benchmarks
                         if b["name"] == "run_cfpd_sync"), None)
     report = {
@@ -375,6 +463,7 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
                 default_e2e["speedup"] if default_e2e else None,
             "all_simulated_results_identical": all(digests) if digests
             else None,
+            "speedup_gates_ok": gates_ok if gated else None,
         },
     }
     return report
@@ -401,15 +490,16 @@ def compare_reports(current: dict, reference: dict,
     return failures
 
 
-def trajectory_check(current: dict, reference: dict) -> tuple[dict, list[str]]:
+def trajectory_check(current: dict, reference: dict,
+                     min_ratio: float = 1.0) -> tuple[dict, list[str]]:
     """Cross-PR trajectory: current after-times vs the previous PR's report.
 
     Returns ``(trajectory, failures)`` where ``trajectory`` maps benchmark
     names to reference/current after-times and the speedup between them,
     and ``failures`` lists every ``kernel`` benchmark whose speedup against
-    the reference dropped below 1.0 (i.e. this PR made a kernel slower
-    than the committed state it started from).  Benchmarks missing from
-    either report — e.g. rows introduced by this PR — are skipped.
+    the reference dropped below ``min_ratio`` (i.e. this PR made a kernel
+    slower than the committed state it started from).  Benchmarks missing
+    from either report — e.g. rows introduced by this PR — are skipped.
     """
     ref_by_name = {b["name"]: b for b in reference.get("benchmarks", [])}
     trajectory: dict = {}
@@ -427,10 +517,10 @@ def trajectory_check(current: dict, reference: dict) -> tuple[dict, list[str]]:
             "after_seconds": cur_s,
             "speedup_vs_reference": speedup,
         }
-        if b["kind"] == "kernel" and speedup < 1.0:
+        if b["kind"] == "kernel" and speedup < min_ratio:
             failures.append(
                 f"{b['name']}: kernel speedup vs reference {speedup:.3f}x "
-                f"< 1.0x ({cur_s:.3f}s vs {ref_s:.3f}s)")
+                f"< {min_ratio:.1f}x ({cur_s:.3f}s vs {ref_s:.3f}s)")
     return trajectory, failures
 
 
@@ -463,7 +553,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         with open(args.baseline) as fh:
             baseline_report = json.load(fh)
         trajectory, trajectory_failures = trajectory_check(
-            report, baseline_report)
+            report, baseline_report,
+            min_ratio=TRAJECTORY_NOISE_FLOOR if args.quick else 1.0)
         report["trajectory"] = {"reference": args.baseline,
                                 "benchmarks": trajectory}
     text = json.dumps(report, indent=2, sort_keys=False)
@@ -478,6 +569,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     if identical is False:
         print("[bench] FAIL: simulated-time results differ between toggle "
               "states", file=sys.stderr)
+        return 1
+    if report["summary"]["speedup_gates_ok"] is False:
+        for b in report["benchmarks"]:
+            gate = b.get("min_speedup")
+            if gate and (b["speedup"] is None or b["speedup"] < gate):
+                print(f"[bench] FAIL: {b['name']} speedup {b['speedup']}x "
+                      f"below the required {gate}x", file=sys.stderr)
         return 1
     if args.compare:
         with open(args.compare) as fh:

@@ -68,6 +68,24 @@ class Toggles:
     #: of a run configuration across ``run_cfpd`` calls (graphs are
     #: stateless between executions; all execution state lives in ``Team``).
     driver_graph_cache: bool = True
+    #: ``particles.tracker`` / ``particles.locator_fast``: warm-start exact
+    #: element location — accept a particle's cached host element (or an
+    #: adjacency-ring neighbour) only when the precomputed per-element
+    #: safety radius *proves* it is still the global nearest centroid;
+    #: batched KD-tree fallback for the provably-lost remainder.  Subsumes
+    #: ``locator_active_only`` (the frozen-particle cache rides along).
+    particle_warm_start: bool = True
+    #: ``particles.tracker``: active-set compaction — active particles kept
+    #: in a contiguous index prefix under a stable permutation (frozen
+    #: particles swap to the tail once), so the tracker gathers/scatters
+    #: prefix slices instead of full-population boolean masks.
+    particle_compaction: bool = True
+    #: ``particles.flowfield`` / ``particles.tracker`` /
+    #: ``particles.interpolation``: batched transport kernels — preallocated
+    #: workspace buffers for ``AirwayFlow.locate`` and the drag/Newmark/
+    #: boundary math, and reuse of the boundary-pass locate result for the
+    #: next step's velocity evaluation (identical inputs, identical output).
+    particle_fused_step: bool = True
 
 
 #: process-wide current toggle state

@@ -268,3 +268,51 @@ class TestLocatorAndImbalance:
         locator = ElementLocator(airway)
         with pytest.raises(ValueError):
             locator.owners_of(np.zeros((1, 3)))
+
+
+class TestParticleStateExtend:
+    def test_polydisperse_remnant_then_monodisperse(self):
+        """A zero-length polydisperse extend must not poison a later
+        monodisperse append (diameter fell out of sync with status)."""
+        state = ParticleState.empty()
+        poly = ParticleState(x=np.zeros((0, 3)), v=np.zeros((0, 3)),
+                             a=np.zeros((0, 3)),
+                             status=np.zeros(0, dtype=np.int8),
+                             diameter=np.zeros(0))
+        state.extend(poly)
+        mono = ParticleState(x=np.zeros((5, 3)), v=np.zeros((5, 3)),
+                             a=np.zeros((5, 3)),
+                             status=np.zeros(5, dtype=np.int8))
+        state.extend(mono)
+        assert state.n == 5
+        assert state.diameter is None
+        state.check_invariants()
+
+    def test_mixing_nonempty_populations_raises(self):
+        mono = ParticleState(x=np.zeros((2, 3)), v=np.zeros((2, 3)),
+                             a=np.zeros((2, 3)),
+                             status=np.zeros(2, dtype=np.int8))
+        poly = ParticleState(x=np.zeros((2, 3)), v=np.zeros((2, 3)),
+                             a=np.zeros((2, 3)),
+                             status=np.zeros(2, dtype=np.int8),
+                             diameter=np.full(2, 1e-6))
+        with pytest.raises(ValueError, match="mix"):
+            mono.extend(poly)
+
+    def test_check_invariants_catches_length_mismatch(self):
+        state = ParticleState(x=np.zeros((3, 3)), v=np.zeros((3, 3)),
+                              a=np.zeros((3, 3)),
+                              status=np.zeros(3, dtype=np.int8),
+                              diameter=np.zeros(2))
+        with pytest.raises(ValueError, match="diameter"):
+            state.check_invariants()
+
+    def test_extend_empty_with_polydisperse_adopts_diameters(self):
+        state = ParticleState.empty()
+        poly = ParticleState(x=np.zeros((3, 3)), v=np.zeros((3, 3)),
+                             a=np.zeros((3, 3)),
+                             status=np.zeros(3, dtype=np.int8),
+                             diameter=np.full(3, 2e-6))
+        state.extend(poly)
+        assert state.diameter is not None and len(state.diameter) == 3
+        state.check_invariants()

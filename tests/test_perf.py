@@ -372,3 +372,160 @@ class TestLocatorActiveOnly:
         got = locator.elements_of_state(state)
         assert len(got) == state.n
         assert np.array_equal(got, locator.elements_of(state.x))
+
+
+class TestParticleFastPath:
+    """PR 4: warm-start location, active-set compaction, fused kernels."""
+
+    def _track(self, n=400, seed=11):
+        airway = small_airway()
+        state = inject_at_inlet(airway, n, seed=seed)
+        from repro.particles import AirwayFlow
+
+        flow = AirwayFlow(airway.segments)
+        tracker = NewmarkTracker(flow, particles=ParticleProperties(),
+                                 fluid=FluidProperties())
+        return airway, state, tracker
+
+    def test_warm_locate_matches_brute_force_on_random_points(self):
+        from scipy.spatial import cKDTree
+
+        from repro.fem.geometry import element_adjacency
+        from repro.particles.locator_fast import warm_locate
+
+        airway = small_airway()
+        mesh = airway.mesh
+        centroids = mesh.centroids()
+        tree = cKDTree(centroids)
+        adj = element_adjacency(mesh)
+        rng = np.random.default_rng(5)
+        lo, hi = mesh.coords.min(axis=0), mesh.coords.max(axis=0)
+        points = rng.uniform(lo, hi, size=(500, 3))
+        # stale and random host guesses alike must stay exact
+        hosts = rng.integers(0, mesh.nelem, size=500)
+        eids, stats = warm_locate(tree, centroids, adj, points, hosts)
+        brute = np.argmin(
+            np.linalg.norm(points[:, None, :] - centroids[None, :, :],
+                           axis=2), axis=1)
+        assert eids.dtype == np.intp
+        assert np.array_equal(eids, tree.query(points)[1])
+        assert np.array_equal(eids, brute)
+        assert stats.self_ball + stats.ring_ball + stats.fallback == stats.n
+
+    def test_warm_locate_accepts_near_hosts(self):
+        from scipy.spatial import cKDTree
+
+        from repro.fem.geometry import element_adjacency
+        from repro.particles.locator_fast import warm_locate
+
+        airway = small_airway()
+        mesh = airway.mesh
+        centroids = mesh.centroids()
+        tree = cKDTree(centroids)
+        adj = element_adjacency(mesh)
+        # points very near their host centroid: the self ball must fire
+        hosts = np.arange(0, mesh.nelem, 7)
+        points = centroids[hosts] + 1e-9
+        eids, stats = warm_locate(tree, centroids, adj, points, hosts)
+        assert np.array_equal(eids, tree.query(points)[1])
+        assert stats.self_ball > 0
+
+    @pytest.mark.parametrize("toggle", ["particle_warm_start",
+                                        "particle_compaction",
+                                        "particle_fused_step"])
+    def test_single_toggle_off_tracker_bit_identical(self, toggle):
+        def run():
+            airway, state, tracker = self._track()
+            locator = ElementLocator(airway)
+            elems = []
+            for i in range(20):
+                tracker.step(state, 1e-3 if i < 10 else 1e-4)
+                if i == 10:
+                    state.extend(inject_at_inlet(airway, 80, seed=13))
+                elems.append(locator.elements_of_state(state).copy())
+            return state, elems
+
+        s_ref, e_ref = run()
+        with toggles_mod.configured(**{toggle: False}):
+            s_off, e_off = run()
+        assert s_ref.x.tobytes() == s_off.x.tobytes()
+        assert s_ref.v.tobytes() == s_off.v.tobytes()
+        assert s_ref.a.tobytes() == s_off.a.tobytes()
+        assert np.array_equal(s_ref.status, s_off.status)
+        for a, b in zip(e_ref, e_off):
+            assert np.array_equal(a, b)
+
+    def test_all_new_toggles_off_matches_defaults(self):
+        def run():
+            airway, state, tracker = self._track()
+            for i in range(15):
+                tracker.step(state, 1e-3)
+            return state
+
+        s_ref = run()
+        with toggles_mod.configured(particle_warm_start=False,
+                                    particle_compaction=False,
+                                    particle_fused_step=False):
+            s_off = run()
+        assert s_ref.x.tobytes() == s_off.x.tobytes()
+        assert s_ref.v.tobytes() == s_off.v.tobytes()
+        assert np.array_equal(s_ref.status, s_off.status)
+
+    def test_repeated_injection_keeps_locator_exact(self):
+        """Cache growth across several injections with a frozen/active
+        mix: the warm-start host cache must stay consistent."""
+        airway, state, tracker = self._track()
+        locator = ElementLocator(airway)
+        for i in range(30):
+            tracker.step(state, 1e-3)
+            if i % 10 == 9:
+                state.extend(inject_at_inlet(airway, 60, seed=100 + i))
+            got = locator.elements_of_state(state)
+            assert np.array_equal(got, locator.elements_of(state.x))
+        assert (state.status != STATUS_ACTIVE).any()
+        assert state.n > 400
+
+    def test_locator_dtypes_are_intp(self):
+        airway, state, _ = self._track(n=10)
+        locator = ElementLocator(airway)
+        assert locator.elements_of(state.x).dtype == np.intp
+        assert locator.elements_of(np.zeros((0, 3))).dtype == np.intp
+        assert locator.elements_of_state(state).dtype == np.intp
+
+    def test_flowfield_fused_locate_identical(self):
+        from repro.particles import AirwayFlow
+
+        airway = small_airway()
+        flow = AirwayFlow(airway.segments)
+        state = inject_at_inlet(airway, 300, seed=4)
+        rng = np.random.default_rng(9)
+        pts = state.x + 1e-4 * rng.standard_normal(state.x.shape)
+        with toggles_mod.configured(particle_fused_step=False):
+            s_ref, a_ref, r_ref = flow.locate(pts)
+        s_f, a_f, r_f = flow.locate(pts)  # defaults: fused on
+        assert np.array_equal(s_ref, s_f)
+        assert a_ref.tobytes() == a_f.tobytes()
+        assert r_ref.tobytes() == r_f.tobytes()
+
+    def test_compaction_survives_external_status_edit(self):
+        """An external status write between steps invalidates the
+        compacted permutation (detected via the status snapshot)."""
+        airway, state, tracker = self._track()
+        for _ in range(5):
+            tracker.step(state, 1e-3)
+        # freeze an active particle behind the tracker's back
+        idx = int(np.argmax(state.status == STATUS_ACTIVE))
+        state.status[idx] = 2  # STATUS_ESCAPED
+        x_before = state.x[idx].copy()
+        tracker.step(state, 1e-3)
+        # the edited particle must not have moved
+        assert state.status[idx] == 2
+        assert np.array_equal(state.x[idx], x_before)
+
+    def test_bench_rows_present_and_gated(self):
+        from repro.perf.bench import _benchmark_table
+
+        rows = {r["name"]: r for r in _benchmark_table(quick=True)}
+        assert rows["particle_location"]["min_speedup"] == 1.2
+        assert rows["tracker_step"]["min_speedup"] == 2.0
+        assert "interpolation" in rows

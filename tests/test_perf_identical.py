@@ -81,12 +81,15 @@ def default_digests(tmp_path_factory):
 
 
 class TestPerToggleBisection:
-    """Each PR 3 toggle can be flipped off alone without changing any
-    simulated result — the property the bisection workflow relies on."""
+    """Each PR 3 / PR 4 toggle can be flipped off alone without changing
+    any simulated result — the property the bisection workflow relies on."""
 
     @pytest.mark.parametrize("toggle", ["geometry_cache", "operator_split",
                                         "scheduler_heap",
-                                        "driver_graph_cache"])
+                                        "driver_graph_cache",
+                                        "particle_warm_start",
+                                        "particle_compaction",
+                                        "particle_fused_step"])
     @pytest.mark.parametrize("name", sorted(CONFIGS))
     def test_single_toggle_off_is_identical(self, toggle, name, tmp_path,
                                             default_digests):
