@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Campaign orchestration: memoized sweeps with crash-safe resume.
+
+Four acts on the built-in ``demo`` campaign (rank counts x DLB on a
+single Thunder node):
+
+1. **Run** — the campaign executes against a content-addressed result
+   store; every cell lands as one immutable JSON object keyed by the
+   SHA-256 fingerprint of its ``(config, spec, fault_plan)``.
+2. **Re-run** — the identical campaign again: zero simulations, every
+   cell is a cache hit.
+3. **Kill** — a fresh store, and a campaign-level ``job_kill`` fault
+   aborts the orchestration after two completed jobs (the journal
+   records the kill).
+4. **Resume** — the same command again: the two finished cells are
+   cache hits, the rest execute, and the per-job digests are
+   bit-identical to the uninterrupted run's.
+
+Run:  python examples/campaign_sweep.py
+"""
+
+import tempfile
+
+from repro.campaign import (
+    ResultStore,
+    build_report,
+    demo_campaign,
+    replay,
+    run_campaign,
+)
+from repro.fault import FaultPlan, FaultSpec
+from repro.smpi import JobKilledError
+
+campaign = demo_campaign()
+jobs = campaign.expand()
+print(f"campaign {campaign.name!r}: {len(jobs)} jobs "
+      f"({campaign.fingerprint[:12]})")
+for job in jobs:
+    print(f"  {job.job_id}  {job.label():24s} {job.fingerprint[:12]}")
+
+with tempfile.TemporaryDirectory() as tmp:
+    # Act 1: populate the store (workers=2 exercises the process pool).
+    store = ResultStore(f"{tmp}/store")
+    run = run_campaign(campaign, store=store, workers=2)
+    print(f"\nfirst run:  {run.stats()}")
+
+    # Act 2: an identical campaign is a 100% cache hit.
+    rerun = run_campaign(campaign, store=store)
+    print(f"re-run:     {rerun.stats()}  (zero new simulations)")
+    assert rerun.executed == 0 and rerun.cached == len(jobs)
+
+    # Act 3: kill the orchestration after 2 completed jobs.
+    store_b = ResultStore(f"{tmp}/store-b")
+    kill = FaultPlan(specs=(FaultSpec(kind="job_kill", time=0.0, count=2),))
+    try:
+        run_campaign(campaign, store=store_b, kill_plan=kill)
+    except JobKilledError as exc:
+        print(f"\nkilled:     {exc.reason}")
+    state = replay(f"{tmp}/store-b/journal.jsonl")
+    print(f"journal:    {state.completed}/{state.njobs} done, "
+          f"killed={state.killed}")
+
+    # Act 4: resume — finished cells cached, the rest execute, and the
+    # store ends bit-identical to the uninterrupted run's.
+    resumed = run_campaign(campaign, store=store_b)
+    print(f"resumed:    {resumed.stats()}")
+    assert store_b.digest_map() == store.digest_map()
+    print("digests:    resumed store identical to uninterrupted run")
+
+    print()
+    print(build_report(campaign, store).format())

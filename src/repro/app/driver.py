@@ -19,7 +19,7 @@ PMPI hooks feed DLB when enabled.  Phase timings land in a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np

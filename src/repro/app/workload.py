@@ -16,7 +16,7 @@ sweeps a dozen configurations over the same workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

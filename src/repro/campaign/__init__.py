@@ -1,0 +1,69 @@
+"""Concurrent scenario-sweep orchestration (`repro.campaign`).
+
+Turns the paper's evaluation matrix into a declarative, concurrent,
+resumable service:
+
+* :mod:`~repro.campaign.spec` — :class:`CampaignSpec` expands grid/list
+  definitions over :class:`~repro.app.RunConfig` /
+  :class:`~repro.app.WorkloadSpec` / :class:`~repro.fault.FaultPlan`
+  fields into deterministic :class:`Job` cells with stable SHA-256
+  fingerprints;
+* :mod:`~repro.campaign.store` — content-addressed on-disk result store:
+  completed cells are memoized by fingerprint (an identical campaign
+  re-run is a 100% cache hit) and store objects are bit-identical across
+  runs, the cross-run identity surface;
+* :mod:`~repro.campaign.executor` — serial / multi-process execution with
+  per-job timeouts, fault-aware retry/backoff over the :mod:`repro.fault`
+  failure taxonomy, and campaign-level ``job_kill`` injection;
+* :mod:`~repro.campaign.journal` — crash-safe append-only progress
+  journal, so a killed campaign resumes exactly where it stopped;
+* :mod:`~repro.campaign.aggregate` — rolls per-job POP metrics and phase
+  timers into a campaign-level report;
+* :mod:`~repro.campaign.figures` — the paper's figure sweeps (Figs. 6-11)
+  as thin campaign specs over the same runner.
+
+CLI: ``python -m repro campaign run|status|resume|report``.
+"""
+
+from .aggregate import CampaignReport, build_report
+from .executor import CampaignRun, JobOutcome, classify_failure, \
+    run_campaign
+from .figures import (
+    BUILTIN_CAMPAIGNS,
+    ci_smoke_campaign,
+    demo_campaign,
+    dlb_figure_campaign,
+    get_campaign,
+    hybrid_sweep_campaign,
+)
+from .journal import Journal, JournalState, replay
+from .runner import RECORD_SCHEMA, job_record, run_job, simulated_digest
+from .spec import CampaignSpec, Job
+from .store import ResultStore, StoreError, cross_run_identity
+
+__all__ = [
+    "BUILTIN_CAMPAIGNS",
+    "CampaignReport",
+    "CampaignRun",
+    "CampaignSpec",
+    "Job",
+    "JobOutcome",
+    "Journal",
+    "JournalState",
+    "RECORD_SCHEMA",
+    "ResultStore",
+    "StoreError",
+    "build_report",
+    "ci_smoke_campaign",
+    "classify_failure",
+    "cross_run_identity",
+    "demo_campaign",
+    "dlb_figure_campaign",
+    "get_campaign",
+    "hybrid_sweep_campaign",
+    "job_record",
+    "replay",
+    "run_campaign",
+    "run_job",
+    "simulated_digest",
+]

@@ -1,0 +1,141 @@
+"""Campaign-level aggregation: roll per-job metrics into one report.
+
+Pulls every record of a campaign from the result store and condenses the
+per-job :mod:`repro.trace` POP efficiencies and phase timings into a
+campaign report — one row per cell plus matrix-wide aggregates (mean/min
+POP efficiencies, per-phase mean time share, fastest/slowest cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .spec import CampaignSpec
+from .store import ResultStore
+
+__all__ = ["CampaignReport", "build_report"]
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated view of one campaign's completed cells."""
+
+    name: str
+    campaign_fingerprint: str
+    rows: list = field(default_factory=list)
+    #: fingerprints the store has no record for yet
+    pending: list = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    def to_rows(self) -> list:
+        """Structured rows (one dict per completed cell)."""
+        return self.rows
+
+    def format(self) -> str:
+        """Human-readable report."""
+        from ..experiments.common import format_table
+
+        table = [(r["job_id"], r["label"],
+                  f"{r['total_time'] * 1e3:.3f}",
+                  f"{r['load_balance']:.2f}",
+                  f"{r['communication_efficiency']:.2f}",
+                  f"{r['parallel_efficiency']:.2f}",
+                  r["simulated_digest"][:12])
+                 for r in self.rows]
+        lines = [format_table(
+            ["job", "configuration", "time (ms)", "LB", "CommE", "PE",
+             "digest"],
+            table, title=f"Campaign {self.name!r} "
+                         f"({self.campaign_fingerprint[:12]})")]
+        s = self.summary
+        if s:
+            lines.append("")
+            lines.append(
+                f"{s['completed']}/{s['jobs']} cells complete; POP mean "
+                f"LB={s['mean_load_balance']:.2f} "
+                f"CommE={s['mean_communication_efficiency']:.2f} "
+                f"PE={s['mean_parallel_efficiency']:.2f}")
+            if s.get("fastest"):
+                lines.append(
+                    f"fastest {s['fastest']['label']} "
+                    f"({s['fastest']['total_time'] * 1e3:.3f} ms), "
+                    f"slowest {s['slowest']['label']} "
+                    f"({s['slowest']['total_time'] * 1e3:.3f} ms)")
+            shares = s.get("mean_phase_percent", {})
+            if shares:
+                lines.append("mean time share: " + ", ".join(
+                    f"{p} {v:.1f}%" for p, v in shares.items()))
+        if self.pending:
+            lines.append(f"pending: {len(self.pending)} cell(s) not in "
+                         f"the store yet")
+        return "\n".join(lines)
+
+
+def build_report(campaign: CampaignSpec, store: ResultStore,
+                 run: Optional[object] = None) -> CampaignReport:
+    """Aggregate ``campaign`` from ``store`` (or a just-finished run's
+    in-memory records when no store was used)."""
+    jobs = campaign.expand()
+    records = {}
+    if run is not None:
+        records.update({o.fingerprint: o.record for o in run.outcomes
+                        if o.record is not None})
+    rows = []
+    pending = []
+    for job in jobs:
+        record = records.get(job.fingerprint)
+        if record is None and store is not None:
+            record = store.get(job.fingerprint)
+        if record is None:
+            pending.append(job.fingerprint)
+            continue
+        m = record["metrics"]
+        rows.append({
+            "job_id": job.job_id,
+            "fingerprint": job.fingerprint,
+            "label": record.get("label", job.label()),
+            "tags": dict(job.tags),
+            "total_time": m["total_time"],
+            "load_balance": m["pop"]["load_balance"],
+            "communication_efficiency":
+                m["pop"]["communication_efficiency"],
+            "parallel_efficiency": m["pop"]["parallel_efficiency"],
+            "phase_elapsed": m["phase_elapsed"],
+            "phase_summary": m["phase_summary"],
+            "simulated_digest": record["simulated_digest"],
+        })
+    summary = _summarize(jobs, rows)
+    return CampaignReport(name=campaign.name,
+                          campaign_fingerprint=campaign.fingerprint,
+                          rows=rows, pending=pending, summary=summary)
+
+
+def _summarize(jobs, rows) -> dict:
+    summary = {"jobs": len(jobs), "completed": len(rows),
+               "pending": len(jobs) - len(rows)}
+    if not rows:
+        return summary
+    def mean(key):
+        return sum(r[key] for r in rows) / len(rows)
+
+    summary["mean_load_balance"] = mean("load_balance")
+    summary["mean_communication_efficiency"] = \
+        mean("communication_efficiency")
+    summary["mean_parallel_efficiency"] = mean("parallel_efficiency")
+    summary["min_parallel_efficiency"] = \
+        min(r["parallel_efficiency"] for r in rows)
+    fastest = min(rows, key=lambda r: r["total_time"])
+    slowest = max(rows, key=lambda r: r["total_time"])
+    summary["fastest"] = {"label": fastest["label"],
+                          "total_time": fastest["total_time"]}
+    summary["slowest"] = {"label": slowest["label"],
+                          "total_time": slowest["total_time"]}
+    shares: dict = {}
+    for r in rows:
+        for entry in r["phase_summary"]:
+            shares.setdefault(entry["phase"], []).append(
+                entry["percent_time"])
+    summary["mean_phase_percent"] = {
+        p: sum(vs) / len(vs) for p, vs in shares.items()}
+    return summary

@@ -1,0 +1,395 @@
+"""Concurrent, memoizing, crash-safe campaign execution.
+
+``run_campaign`` drives a :class:`~repro.campaign.spec.CampaignSpec`
+through the store/journal machinery:
+
+* cells whose fingerprint is already in the store are **cache hits** —
+  re-running an identical campaign performs zero new simulations;
+* pending cells run either inline (``workers=0``, the deterministic serial
+  path the figure runners use), in a persistent multi-process pool
+  (``workers=N``, stdlib :mod:`concurrent.futures` only), or one fresh
+  cold process per job (``fresh_process_per_job=True`` — the pre-campaign
+  "ad-hoc script per cell" execution model, kept as the bench baseline);
+* failures are classified against the :mod:`repro.fault` /
+  :mod:`repro.smpi` failure taxonomy: only *transient* classes (worker
+  crash, timeout) retry, with exponential backoff — a deterministic
+  simulated kill or a config error would fail identically forever;
+* every completion is published atomically to the store and journaled
+  before the next job is scheduled, so a campaign killed mid-flight
+  resumes exactly where it stopped.
+
+Campaign-level crash injection reuses the :class:`repro.fault.FaultPlan`
+vocabulary: ``job_kill`` specs act at the *orchestration* level — the
+campaign aborts with :class:`~repro.smpi.JobKilledError` after ``count``
+completed jobs (power loss / wall-clock limit on the sweep driver), which
+is exactly what the resume-after-kill test injects.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    as_completed,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..fault import CheckpointError, FaultPlan
+from ..smpi import JobKilledError, MPIError, RankDeadError
+from .journal import Journal
+from .runner import run_job, warm_workload
+from .spec import CampaignSpec, Job
+from .store import ResultStore
+
+__all__ = ["CampaignRun", "JobOutcome", "classify_failure", "run_campaign"]
+
+#: Exponential-backoff cap between retry attempts [s].
+BACKOFF_CAP = 1.0
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception onto the campaign failure taxonomy.
+
+    ``transient``       — worker-process crash or timeout; a retry may
+                          succeed (the simulation itself is deterministic,
+                          the *execution environment* is not);
+    ``simulated_kill``  — the job's own fault plan killed the simulated
+                          run (:class:`JobKilledError`); deterministic, a
+                          retry would die identically;
+    ``config``          — invalid configuration or checkpoint mismatch;
+    ``fault``           — a simulated MPI-level failure escaped (e.g. rank
+                          death without fault tolerance); deterministic.
+    """
+    if isinstance(exc, JobKilledError):
+        return "simulated_kill"
+    if isinstance(exc, (RankDeadError, MPIError)):
+        return "fault"
+    if isinstance(exc, (CheckpointError, ValueError, TypeError, KeyError)):
+        return "config"
+    if isinstance(exc, (BrokenExecutor, FutureTimeoutError, TimeoutError,
+                        OSError)):
+        return "transient"
+    return "unknown"
+
+
+@dataclass
+class JobOutcome:
+    """How one cell of the campaign ended."""
+
+    job: Job
+    status: str                      # "done" | "cached" | "failed"
+    record: Optional[dict] = None
+    error: Optional[str] = None
+    failure_class: Optional[str] = None
+    attempts: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        return self.job.fingerprint
+
+
+@dataclass
+class CampaignRun:
+    """Result of one ``run_campaign`` invocation."""
+
+    campaign: str
+    campaign_fingerprint: str
+    outcomes: list = field(default_factory=list)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def executed(self) -> int:
+        return self._count("done")
+
+    @property
+    def cached(self) -> int:
+        return self._count("cached")
+
+    @property
+    def failed(self) -> int:
+        return self._count("failed")
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def records(self) -> list:
+        """Records of every completed cell, in campaign order."""
+        return [o.record for o in self.outcomes if o.record is not None]
+
+    def digest_map(self) -> dict:
+        return {o.fingerprint: o.record["simulated_digest"]
+                for o in self.outcomes if o.record is not None}
+
+    def stats(self) -> dict:
+        return {"jobs": len(self.outcomes), "executed": self.executed,
+                "cached": self.cached, "failed": self.failed}
+
+
+class _KillGate:
+    """Campaign-level ``job_kill`` injection: abort the orchestration after
+    ``spec.count`` completed (executed, non-cached) jobs."""
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self._after = sorted(s.count for s in plan.for_kind("job_kill")) \
+            if plan is not None else []
+        self.completed = 0
+
+    def on_job_done(self) -> None:
+        self.completed += 1
+        if self._after and self.completed >= self._after[0]:
+            raise JobKilledError(
+                f"campaign killed by injection after "
+                f"{self.completed} completed jobs", float(self.completed))
+
+
+def _default_mp_context():
+    """Fork where available (workers inherit the warm workload cache),
+    spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix
+        return multiprocessing.get_context("spawn")
+
+
+def run_campaign(campaign: CampaignSpec,
+                 store: Optional[ResultStore] = None,
+                 workers: int = 0, *,
+                 job_timeout: Optional[float] = None,
+                 max_retries: int = 2,
+                 backoff_base: float = 0.05,
+                 fresh_process_per_job: bool = False,
+                 kill_plan: Optional[FaultPlan] = None,
+                 journal: Optional[Journal] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> CampaignRun:
+    """Run every cell of ``campaign``, memoized against ``store``.
+
+    ``workers=0`` runs inline (serial, deterministic order); ``workers>=1``
+    uses a persistent process pool; ``fresh_process_per_job`` runs each
+    job serially in a cold spawned process instead.  ``kill_plan`` injects
+    campaign-level ``job_kill`` faults (see :class:`_KillGate`); the
+    resulting :class:`JobKilledError` propagates *after* the journal
+    records the kill, so a resume picks up exactly where it stopped.
+    """
+    jobs = campaign.expand()
+    run = CampaignRun(campaign=campaign.name,
+                      campaign_fingerprint=campaign.fingerprint)
+    own_journal = journal is None and store is not None
+    if own_journal:
+        import os
+
+        journal = Journal(os.path.join(store.root, "journal.jsonl"))
+    if journal is not None:
+        journal.append("campaign_begin", campaign=campaign.name,
+                       campaign_fingerprint=run.campaign_fingerprint,
+                       njobs=len(jobs))
+    gate = _KillGate(kill_plan)
+    try:
+        _execute(jobs, run, store, journal, gate, workers=workers,
+                 job_timeout=job_timeout, max_retries=max_retries,
+                 backoff_base=backoff_base,
+                 fresh_process_per_job=fresh_process_per_job,
+                 progress=progress)
+        if journal is not None:
+            journal.append("campaign_end", **run.stats())
+    except JobKilledError as exc:
+        if journal is not None:
+            journal.append("campaign_killed", reason=exc.reason,
+                           completed=gate.completed)
+        raise
+    finally:
+        if own_journal:
+            journal.close()
+    return run
+
+
+def _execute(jobs, run, store, journal, gate, *, workers, job_timeout,
+             max_retries, backoff_base, fresh_process_per_job, progress):
+    pending = []
+    seen: dict = {}
+    for job in jobs:
+        fp = job.fingerprint
+        if fp in seen:  # duplicate cell within the campaign: share outcome
+            run.outcomes.append(seen[fp])
+            continue
+        record = store.get(fp) if store is not None else None
+        if record is not None:
+            outcome = JobOutcome(job=job, status="cached", record=record)
+            if journal is not None:
+                journal.append("job_cached", fingerprint=fp,
+                               job_id=job.job_id)
+            _say(progress, f"{job.job_id}: cached ({fp[:12]})")
+        else:
+            outcome = JobOutcome(job=job, status="pending")
+            pending.append(outcome)
+        run.outcomes.append(outcome)
+        seen[fp] = outcome
+
+    if not pending:
+        return
+    if workers >= 1 and not fresh_process_per_job:
+        _execute_pool(pending, store, journal, gate, workers=workers,
+                      job_timeout=job_timeout, max_retries=max_retries,
+                      backoff_base=backoff_base, progress=progress)
+    else:
+        _execute_serial(pending, store, journal, gate,
+                        fresh_process=fresh_process_per_job,
+                        job_timeout=job_timeout, max_retries=max_retries,
+                        backoff_base=backoff_base, progress=progress)
+
+
+def _execute_serial(pending, store, journal, gate, *, fresh_process,
+                    job_timeout, max_retries, backoff_base, progress):
+    for outcome in pending:
+        _run_with_retries(outcome, journal, max_retries=max_retries,
+                          backoff_base=backoff_base, job_timeout=job_timeout,
+                          fresh_process=fresh_process)
+        _publish(outcome, store, journal, gate, progress)
+
+
+def _execute_pool(pending, store, journal, gate, *, workers, job_timeout,
+                  max_retries, backoff_base, progress):
+    ctx = _default_mp_context()
+    if ctx.get_start_method() == "fork":
+        # workers inherit these precomputes through the fork
+        for spec in {o.job.spec for o in pending}:
+            warm_workload(spec)
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    attempts: dict = {}
+
+    def _submit(outcome):
+        attempts.setdefault(outcome.fingerprint, 1)
+        if journal is not None:
+            journal.append("job_start", fingerprint=outcome.fingerprint,
+                           job_id=outcome.job.job_id,
+                           attempt=attempts[outcome.fingerprint])
+        return pool.submit(run_job, outcome.job)
+
+    try:
+        futures = {_submit(o): o for o in pending}
+        while futures:
+            retry_queue = []
+            for fut in as_completed(list(futures)):
+                outcome = futures.pop(fut)
+                try:
+                    record = fut.result(timeout=job_timeout)
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    failure = classify_failure(exc)
+                    attempt = attempts[outcome.fingerprint]
+                    if failure == "transient" and attempt <= max_retries:
+                        if journal is not None:
+                            journal.append(
+                                "job_retry",
+                                fingerprint=outcome.fingerprint,
+                                job_id=outcome.job.job_id,
+                                failure_class=failure, error=str(exc),
+                                attempt=attempt)
+                        time.sleep(min(BACKOFF_CAP,
+                                       backoff_base * 2 ** (attempt - 1)))
+                        attempts[outcome.fingerprint] = attempt + 1
+                        retry_queue.append(outcome)
+                        if isinstance(exc, BrokenExecutor):
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = ProcessPoolExecutor(max_workers=workers,
+                                                       mp_context=ctx)
+                        continue
+                    outcome.status = "failed"
+                    outcome.error = str(exc)
+                    outcome.failure_class = failure
+                    outcome.attempts = attempt
+                    if journal is not None:
+                        journal.append("job_failed",
+                                       fingerprint=outcome.fingerprint,
+                                       job_id=outcome.job.job_id,
+                                       failure_class=failure,
+                                       error=str(exc))
+                    _say(progress, f"{outcome.job.job_id}: FAILED "
+                                   f"[{failure}] {exc}")
+                    continue
+                outcome.status = "done"
+                outcome.record = record
+                outcome.attempts = attempts[outcome.fingerprint]
+                _publish(outcome, store, journal, gate, progress)
+            for outcome in retry_queue:
+                futures[_submit(outcome)] = outcome
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_with_retries(outcome, journal, *, max_retries, backoff_base,
+                      job_timeout, fresh_process):
+    job = outcome.job
+    for attempt in range(1, max_retries + 2):
+        outcome.attempts = attempt
+        if journal is not None:
+            journal.append("job_start", fingerprint=outcome.fingerprint,
+                           job_id=job.job_id, attempt=attempt)
+        try:
+            if fresh_process:
+                outcome.record = _run_in_fresh_process(job, job_timeout)
+            else:
+                outcome.record = run_job(job)
+            outcome.status = "done"
+            return
+        except Exception as exc:  # noqa: BLE001 - classified below
+            failure = classify_failure(exc)
+            if failure == "transient" and attempt <= max_retries:
+                if journal is not None:
+                    journal.append("job_retry",
+                                   fingerprint=outcome.fingerprint,
+                                   job_id=job.job_id, failure_class=failure,
+                                   error=str(exc), attempt=attempt)
+                time.sleep(min(BACKOFF_CAP,
+                               backoff_base * 2 ** (attempt - 1)))
+                continue
+            outcome.status = "failed"
+            outcome.error = str(exc)
+            outcome.failure_class = failure
+            if journal is not None:
+                journal.append("job_failed", fingerprint=outcome.fingerprint,
+                               job_id=job.job_id, failure_class=failure,
+                               error=str(exc))
+            return
+
+
+def _run_in_fresh_process(job: Job, job_timeout: Optional[float]) -> dict:
+    """One cold spawned process per job — the ad-hoc-script execution
+    model the campaign layer replaces (every job pays interpreter start,
+    imports and the full numeric precompute; nothing is reused)."""
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=1, mp_context=ctx) as pool:
+        return pool.submit(run_job, job).result(timeout=job_timeout)
+
+
+def _publish(outcome, store, journal, gate, progress) -> None:
+    """Store + journal one finished outcome, then let the kill gate act.
+
+    The order is the crash-safety contract: the record is durable *before*
+    the journal line, and both land before the gate may abort the
+    campaign — so anything the journal claims finished is in the store.
+    """
+    if outcome.status == "failed":
+        _say(progress, f"{outcome.job.job_id}: FAILED "
+                       f"[{outcome.failure_class}] {outcome.error}")
+        return
+    if store is not None:
+        store.put(outcome.record)
+    if journal is not None:
+        journal.append("job_done", fingerprint=outcome.fingerprint,
+                       job_id=outcome.job.job_id,
+                       digest=outcome.record["simulated_digest"])
+    _say(progress, f"{outcome.job.job_id}: done "
+                   f"({outcome.record['simulated_digest'][:12]})")
+    gate.on_job_done()
+
+
+def _say(progress, message: str) -> None:
+    if progress is not None:
+        progress(message)

@@ -1,0 +1,169 @@
+"""Crash-safe append-only campaign journal.
+
+One JSON line per event, flushed and fsync'd as it is written, so the
+journal survives a ``kill -9`` mid-campaign with at most one torn trailing
+line — which :func:`replay` tolerates (it stops at the first unparsable
+line and flags ``truncated``).  The journal is the campaign's *progress*
+record; the result store is its *content* record.  Resume needs only the
+store (memoization skips finished cells), the journal is what lets
+``campaign status`` tell an interrupted campaign from a finished one
+without re-expanding anything.
+
+Events (all carry ``seq`` and a wall-clock ``ts``; timestamps live only
+here, never in store objects, so stores stay bit-identical across runs)::
+
+    campaign_begin    {campaign, campaign_fingerprint, njobs}
+    job_cached        {fingerprint, job_id}
+    job_start         {fingerprint, job_id, attempt}
+    job_done          {fingerprint, job_id, digest, elapsed}
+    job_retry         {fingerprint, job_id, failure_class, error, attempt}
+    job_failed        {fingerprint, job_id, failure_class, error}
+    campaign_killed   {reason, completed}
+    campaign_end      {executed, cached, failed}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Journal", "JournalState", "replay"]
+
+JOURNAL_VERSION = 1
+
+
+class Journal:
+    """Append-only JSONL writer (one fsync per event)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._seq = _last_seq(path) + 1
+        self._fh = open(path, "a")
+
+    def append(self, event: str, **fields) -> None:
+        line = {"seq": self._seq, "event": event,
+                "version": JOURNAL_VERSION, "ts": round(time.time(), 3)}
+        line.update(fields)
+        self._fh.write(json.dumps(line, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._seq += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalState:
+    """What a replayed journal says about campaign progress."""
+
+    events: list = field(default_factory=list)
+    campaign: Optional[str] = None
+    campaign_fingerprint: Optional[str] = None
+    njobs: int = 0
+    done: dict = field(default_factory=dict)      # fingerprint -> digest
+    cached: set = field(default_factory=set)
+    failed: dict = field(default_factory=dict)    # fingerprint -> class
+    retries: int = 0
+    began: bool = False
+    finished: bool = False
+    killed: bool = False
+    kill_reason: Optional[str] = None
+    truncated: bool = False
+
+    @property
+    def completed(self) -> int:
+        return len(self.done) + len(self.cached)
+
+    @property
+    def in_progress(self) -> bool:
+        return self.began and not self.finished
+
+    def summary(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "campaign_fingerprint": self.campaign_fingerprint,
+            "njobs": self.njobs,
+            "executed": len(self.done),
+            "cached": len(self.cached),
+            "failed": len(self.failed),
+            "retries": self.retries,
+            "finished": self.finished,
+            "killed": self.killed,
+            "truncated": self.truncated,
+        }
+
+
+def replay(path: str) -> JournalState:
+    """Rebuild campaign progress from the journal; a torn trailing line
+    (crash mid-append) truncates the replay instead of failing it."""
+    state = JournalState()
+    try:
+        fh = open(path)
+    except FileNotFoundError:
+        return state
+    with fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError:
+                state.truncated = True
+                break
+            state.events.append(line)
+            event = line.get("event")
+            if event == "campaign_begin":
+                # a later begin supersedes (resume of the same store)
+                state.campaign = line.get("campaign")
+                state.campaign_fingerprint = \
+                    line.get("campaign_fingerprint")
+                state.njobs = int(line.get("njobs", 0))
+                state.began = True
+                state.finished = False
+                state.killed = False
+                state.done.clear()
+                state.cached.clear()
+                state.failed.clear()
+            elif event == "job_cached":
+                state.cached.add(line["fingerprint"])
+            elif event == "job_done":
+                state.done[line["fingerprint"]] = line.get("digest")
+                state.failed.pop(line["fingerprint"], None)
+            elif event == "job_retry":
+                state.retries += 1
+            elif event == "job_failed":
+                state.failed[line["fingerprint"]] = \
+                    line.get("failure_class", "unknown")
+            elif event == "campaign_killed":
+                state.killed = True
+                state.kill_reason = line.get("reason")
+            elif event == "campaign_end":
+                state.finished = True
+    return state
+
+
+def _last_seq(path: str) -> int:
+    last = -1
+    try:
+        with open(path) as fh:
+            for raw in fh:
+                try:
+                    last = int(json.loads(raw).get("seq", last))
+                except (json.JSONDecodeError, TypeError, ValueError):
+                    break
+    except FileNotFoundError:
+        pass
+    return last

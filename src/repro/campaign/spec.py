@@ -1,0 +1,200 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` describes a whole evaluation matrix — a base
+:class:`~repro.app.RunConfig` / :class:`~repro.app.WorkloadSpec` pair plus
+grid and list expansions over their fields — and expands deterministically
+into :class:`Job` cells.  Each job carries a stable SHA-256 fingerprint of
+its ``(config, spec, fault_plan)`` identity; the fingerprint is the key of
+the content-addressed result store, so re-expanding the same campaign (or a
+different campaign visiting the same cell) hits the cache.
+
+Override keys are dotted field paths::
+
+    config.nranks      -> dataclasses field of RunConfig
+    spec.n_steps       -> dataclasses field of WorkloadSpec
+    tags.role          -> descriptive metadata (NOT part of the fingerprint)
+    fault_plan         -> {"seed": ..., "specs": [FaultSpec dicts]} per cell
+
+``grid`` entries multiply (cartesian product, in declaration order);
+``runs`` entries enumerate explicit cells.  When both are present every
+explicit run is expanded by the full grid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional
+
+from ..app import RunConfig, WorkloadSpec
+from ..fault import FaultPlan
+from . import serialize
+
+__all__ = ["CampaignSpec", "Job"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One expanded cell of a campaign: a fully materialized simulation."""
+
+    index: int
+    campaign: str
+    config: RunConfig
+    spec: WorkloadSpec
+    fault_plan: Optional[FaultPlan] = None
+    #: descriptive, sorted (key, value) pairs — reporting only, not identity
+    tags: tuple = ()
+
+    @property
+    def job_id(self) -> str:
+        return f"{self.campaign}-{self.index:04d}"
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Stable SHA-256 identity of ``(config, spec, fault_plan)``."""
+        return serialize.job_fingerprint(self.config, self.spec,
+                                         self.fault_plan)
+
+    def tag(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.tags:
+            if k == key:
+                return v
+        return default
+
+    def label(self) -> str:
+        """Human-readable descriptor (the config label by default)."""
+        return self.tag("label") or self.config.label()
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative, deterministic description of a scenario sweep."""
+
+    name: str
+    base_config: RunConfig = field(default_factory=RunConfig)
+    base_spec: WorkloadSpec = field(default_factory=WorkloadSpec)
+    #: ordered (dotted key, list of values) pairs — cartesian product
+    grid: list = field(default_factory=list)
+    #: explicit override dicts, one per cell (before grid expansion)
+    runs: list = field(default_factory=list)
+    #: fault plan applied to every job (cells may override per-run)
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self):
+        self.grid = [(str(k), list(vs)) for k, vs in
+                     (self.grid.items() if isinstance(self.grid, dict)
+                      else self.grid)]
+        self.runs = [dict(r) for r in self.runs]
+        for key, values in self.grid:
+            self._check_key(key)
+            if not values:
+                raise ValueError(f"grid axis {key!r} has no values")
+        for run in self.runs:
+            for key in run:
+                self._check_key(key)
+
+    @staticmethod
+    def _check_key(key: str) -> None:
+        if key == "fault_plan" or key.startswith(("config.", "spec.",
+                                                  "tags.")):
+            return
+        raise ValueError(
+            f"unknown override key {key!r}; expected 'config.<field>', "
+            f"'spec.<field>', 'tags.<name>' or 'fault_plan'")
+
+    # -- expansion ----------------------------------------------------------
+
+    def expand(self) -> list:
+        """Deterministic job list: runs (declaration order) x grid
+        (cartesian product, axes in declaration order)."""
+        cells = self.runs or [{}]
+        if self.grid:
+            keys = [k for k, _ in self.grid]
+            grid_cells = [dict(zip(keys, combo)) for combo in
+                          itertools.product(*(vs for _, vs in self.grid))]
+        else:
+            grid_cells = [{}]
+        jobs = []
+        for cell in cells:
+            for gcell in grid_cells:
+                jobs.append(self._materialize(len(jobs), {**cell, **gcell}))
+        return jobs
+
+    def _materialize(self, index: int, overrides: dict) -> Job:
+        config_d = serialize.config_to_dict(self.base_config)
+        spec_d = serialize.spec_to_dict(self.base_spec)
+        tags = {}
+        plan = self.fault_plan
+        for key, value in overrides.items():
+            if key == "fault_plan":
+                plan = serialize.plan_from_dict(value)
+            elif key.startswith("config."):
+                config_d[key[len("config."):]] = value
+            elif key.startswith("spec."):
+                spec_d[key[len("spec."):]] = value
+            else:
+                tags[key[len("tags."):]] = str(value)
+        return Job(index=index, campaign=self.name,
+                   config=serialize.config_from_dict(config_d),
+                   spec=serialize.spec_from_dict(spec_d),
+                   fault_plan=plan,
+                   tags=tuple(sorted(tags.items())))
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """Identity of the whole matrix: SHA-256 over the job fingerprints
+        (order-sensitive; the name stays out so renames don't invalidate)."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for job in self.expand():
+            digest.update(job.fingerprint.encode())
+        return digest.hexdigest()
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "base": {"config": serialize.config_to_dict(self.base_config),
+                     "spec": serialize.spec_to_dict(self.base_spec)},
+            "grid": [[k, vs] for k, vs in self.grid],
+            "runs": self.runs,
+            "fault_plan": serialize.plan_to_dict(self.fault_plan),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        base = data.get("base", {})
+        config_d = serialize.config_to_dict(RunConfig())
+        config_d.update(base.get("config", {}))
+        spec_d = serialize.spec_to_dict(WorkloadSpec())
+        spec_d.update(base.get("spec", {}))
+        return cls(
+            name=str(data.get("name", "campaign")),
+            base_config=serialize.config_from_dict(config_d),
+            base_spec=serialize.spec_from_dict(spec_d),
+            grid=data.get("grid", []),
+            runs=data.get("runs", []),
+            fault_plan=serialize.plan_from_dict(data.get("fault_plan")))
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_file(cls, path: str) -> "CampaignSpec":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def with_spec_overrides(self, **spec_kwargs) -> "CampaignSpec":
+        """A copy whose base workload spec has ``spec_kwargs`` replaced —
+        the CLI's workload-size flags applied to a named campaign."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self, base_spec=dataclasses.replace(self.base_spec,
+                                                **spec_kwargs))

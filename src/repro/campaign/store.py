@@ -1,0 +1,145 @@
+"""Content-addressed on-disk result store.
+
+Completed jobs are memoized by their fingerprint: one canonical-JSON object
+file per fingerprint under ``objects/<fp[:2]>/<fp>.json``.  Records carry
+no wall-clock material, so the *bytes* of an object are a pure function of
+the job identity and the simulation code — two independent runs of the
+same campaign produce bit-identical stores, which is what the cross-run
+identity check (:func:`cross_run_identity`) and the resume-after-kill test
+lean on.
+
+Writes are crash-safe: the record lands in a temp file in the final
+directory and is published with :func:`os.replace` after an fsync, so a
+killed campaign never leaves a torn object — only missing ones, which the
+next run simply recomputes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Iterator, Optional
+
+from . import serialize
+
+__all__ = ["ResultStore", "StoreError", "cross_run_identity"]
+
+
+class StoreError(RuntimeError):
+    """A store object could not be read or written."""
+
+
+class ResultStore:
+    """Content-addressed store of completed job records."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.objects_dir = os.path.join(root, "objects")
+        os.makedirs(self.objects_dir, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.objects_dir, fingerprint[:2],
+                            f"{fingerprint}.json")
+
+    # -- reads --------------------------------------------------------------
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return os.path.exists(self._path(fingerprint))
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The stored record for ``fingerprint``, or None on a miss."""
+        path = self._path(fingerprint)
+        try:
+            with open(path) as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"corrupt store object {path!r}: {exc}") \
+                from exc
+        if record.get("fingerprint") != fingerprint:
+            raise StoreError(
+                f"store object {path!r} claims fingerprint "
+                f"{record.get('fingerprint')!r}")
+        return record
+
+    def fingerprints(self) -> Iterator[str]:
+        """Every stored fingerprint (sorted, for determinism)."""
+        for shard in sorted(os.listdir(self.objects_dir)):
+            shard_dir = os.path.join(self.objects_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[:-len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def digest_map(self) -> dict:
+        """{fingerprint: simulated digest} over the whole store — the
+        cross-run identity surface."""
+        return {fp: self.get(fp)["simulated_digest"]
+                for fp in self.fingerprints()}
+
+    def stats(self) -> dict:
+        nbytes = 0
+        count = 0
+        for fp in self.fingerprints():
+            nbytes += os.path.getsize(self._path(fp))
+            count += 1
+        return {"objects": count, "bytes": nbytes, "root": self.root}
+
+    # -- writes -------------------------------------------------------------
+
+    def put(self, record: dict) -> str:
+        """Atomically publish ``record`` (canonical JSON); returns its path.
+
+        Idempotent: re-putting the same fingerprint overwrites with
+        identical bytes (records are deterministic).
+        """
+        fingerprint = record.get("fingerprint")
+        if not fingerprint:
+            raise StoreError("record has no fingerprint")
+        if "simulated_digest" not in record:
+            raise StoreError("record has no simulated_digest")
+        path = self._path(fingerprint)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = serialize.canonical_json(record) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-", suffix=".json")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise StoreError(f"cannot write store object {path!r}: {exc}") \
+                from exc
+        return path
+
+
+def cross_run_identity(a: ResultStore, b: ResultStore) -> dict:
+    """Compare the simulated digests of two stores (two runs of the same
+    campaign, or a resumed vs an uninterrupted one).
+
+    Returns ``{"identical": bool, "mismatched": [...], "only_a": [...],
+    "only_b": [...]}``.
+    """
+    da, db = a.digest_map(), b.digest_map()
+    mismatched = sorted(fp for fp in da.keys() & db.keys()
+                        if da[fp] != db[fp])
+    only_a = sorted(da.keys() - db.keys())
+    only_b = sorted(db.keys() - da.keys())
+    return {
+        "identical": not (mismatched or only_a or only_b),
+        "mismatched": mismatched,
+        "only_a": only_a,
+        "only_b": only_b,
+    }

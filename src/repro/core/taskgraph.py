@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Optional
 
 from ..machine import WorkSpec
 

@@ -26,7 +26,7 @@ import numpy as np
 from ..app import RunConfig, WorkloadSpec, run_cfpd
 from ..core import DLB, Strategy, Team, build_parallel_for_graph
 from ..machine import marenostrum4
-from ..partition import dsatur_coloring, greedy_coloring, subdomain_decomposition
+from ..partition import dsatur_coloring, greedy_coloring
 from ..sim import Engine
 from ..smpi import World
 from .common import format_table, large_load_spec, reference_workload
@@ -47,6 +47,10 @@ class AblationResult:
     def format(self) -> str:
         """Plain-text table of the ablation rows."""
         return format_table(self.headers, self.rows, title=self.title)
+
+    def to_rows(self) -> list:
+        """Structured rows: header-keyed dict per swept configuration."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
 
 
 def ablate_mapping(spec: WorkloadSpec | None = None) -> AblationResult:

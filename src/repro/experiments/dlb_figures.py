@@ -6,6 +6,10 @@ the fluid) and 7e6 (load in the particles) — and, per cluster, the
 synchronous mode plus coupled mode with several fluid+particle splits,
 each run with the original runtime and with DLB.
 
+Each figure is a thin campaign spec
+(:func:`repro.campaign.dlb_figure_campaign`) executed through the shared
+:mod:`repro.campaign` runner.
+
 =========  =========  ===========================  =======================
 figure     cluster    particle load                reported effect
 =========  =========  ===========================  =======================
@@ -20,20 +24,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..app import RunConfig, WorkloadSpec, run_cfpd
-from ..core import Strategy
+from ..app import WorkloadSpec
+from ..campaign import dlb_figure_campaign, run_campaign
+from ..campaign.figures import COUPLED_SPLITS
 from .common import format_table, large_load_spec, reference_workload, small_load_spec
 
 __all__ = ["DLBFigureResult", "run_dlb_figure", "run_fig8", "run_fig9",
            "run_fig10", "run_fig11", "COUPLED_SPLITS"]
-
-#: Fluid+particle rank splits swept per cluster (nranks = cluster cores).
-COUPLED_SPLITS = {
-    "marenostrum4": (48, 64, 80),
-    "thunder": (96, 128, 160),
-}
-
-_TOTALS = {"marenostrum4": 96, "thunder": 192}
 
 
 @dataclass
@@ -55,6 +52,13 @@ class DLBFigureResult:
             table,
             title=(f"Simulation of {self.load_tag} particles on "
                    f"{self.cluster}"))
+
+    def to_rows(self) -> list:
+        """Structured rows: one dict per swept configuration."""
+        return [{"cluster": self.cluster, "load": self.load_tag,
+                 "configuration": label, "original_seconds": orig,
+                 "dlb_seconds": dlb, "dlb_gain": orig / dlb}
+                for label, orig, dlb in self.rows]
 
     def best_original(self) -> float:
         """Fastest original-runtime configuration."""
@@ -78,20 +82,21 @@ def run_dlb_figure(cluster: str, spec: WorkloadSpec,
                    load_tag: str = "") -> DLBFigureResult:
     """One of Figs. 8-11: sweep sync + coupled splits, original vs DLB."""
     wl = reference_workload(spec)
-    total = _TOTALS[cluster]
-    configs = [("sync", 0)] + [("coupled", f) for f in
-                               COUPLED_SPLITS[cluster]]
-    rows = []
-    for mode, f in configs:
-        times = {}
-        for dlb in (False, True):
-            cfg = RunConfig(cluster=cluster, nranks=total,
-                            threads_per_rank=1, mode=mode, fluid_ranks=f,
-                            assembly_strategy=Strategy.MULTIDEP,
-                            sgs_strategy=Strategy.ATOMICS, dlb=dlb)
-            times[dlb] = run_cfpd(cfg, workload=wl).total_time
-        label = f"{f}+{total - f}" if mode == "coupled" else f"sync {total}"
-        rows.append((label, times[False], times[True]))
+    campaign = dlb_figure_campaign(cluster, spec=wl.spec)
+    run = run_campaign(campaign)
+    times: dict = {}
+    labels: dict = {}
+    for outcome in run.outcomes:
+        if outcome.record is None:
+            raise RuntimeError(
+                f"{outcome.job.job_id} failed: {outcome.error}")
+        job = outcome.job
+        times[(job.tag("split"), job.config.dlb)] = \
+            outcome.record["metrics"]["total_time"]
+        labels[job.tag("split")] = job.tag("label")
+    splits = ["sync"] + [str(f) for f in COUPLED_SPLITS[cluster]]
+    rows = [(labels[s], times[(s, False)], times[(s, True)])
+            for s in splits]
     return DLBFigureResult(cluster=cluster, load_tag=load_tag, rows=rows)
 
 

@@ -38,6 +38,12 @@ class Fig2Result:
         """(rank, phase, t0, t1) rows of the selected step (CSV-ready)."""
         return timeline_rows(self.phase_log, self.step)
 
+    def to_rows(self) -> list:
+        """Structured rows: one dict per trace interval."""
+        return [{"step": self.step, "rank": rank, "phase": phase,
+                 "t0": t0, "t1": t1}
+                for rank, phase, t0, t1 in self.rows()]
+
 
 def run_fig2(spec: WorkloadSpec | None = None, step: int = 0,
              nranks: int = 96) -> Fig2Result:

@@ -5,6 +5,12 @@ Multidep) at thread counts 1, 2, 4 per rank (total cores constant: 96 on
 MareNostrum4, 192 on Thunder).  Speedup S_c = t_MPI / t_c is measured per
 phase against the pure-MPI run on the same node count.
 
+The sweep itself is a campaign (:func:`repro.campaign.hybrid_sweep_campaign`)
+executed through the shared :mod:`repro.campaign` runner: Fig. 6 and
+Fig. 7 expand to the *same* cells (they differ only in which phase's
+elapsed time is read), so generating one memoizes the other when a result
+store is attached.
+
 Shape targets (Sec. 4.3):
 
 * Fig. 6 (assembly): atomics < 1 almost everywhere, much worse on Intel;
@@ -19,16 +25,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..app import RunConfig, WorkloadSpec, run_cfpd
-from ..core import Strategy
+from ..app import WorkloadSpec
+from ..campaign import hybrid_sweep_campaign, run_campaign
+from ..campaign.figures import CLUSTER_TOTALS
 from .common import format_table, reference_workload
 
 __all__ = ["HybridSweepResult", "run_fig6", "run_fig7", "CLUSTER_TOTALS"]
 
-#: Total cores used per cluster in the paper's Fig. 6/7 sweeps.
-CLUSTER_TOTALS = {"marenostrum4": 96, "thunder": 192}
-
-_STRATEGIES = (Strategy.ATOMICS, Strategy.COLORING, Strategy.MULTIDEP)
+_STRATEGIES = ("atomics", "coloring", "multidep")
 _THREADS = (1, 2, 4)
 
 
@@ -59,38 +63,49 @@ class HybridSweepResult:
                 title=f"{self.phase} speedup vs MPI-only on {cluster}"))
         return "\n\n".join(blocks)
 
-    def speedup(self, cluster: str, strategy: Strategy, threads: int
-                ) -> float:
+    def to_rows(self) -> list:
+        """Structured rows: one dict per (cluster, strategy, threads)."""
+        return [{"cluster": cluster, "strategy": strategy,
+                 "threads": threads, "speedup": value,
+                 "baseline_seconds": self.baselines[cluster],
+                 "phase": self.phase}
+                for cluster, per_strategy in self.speedups.items()
+                for strategy, per_threads in per_strategy.items()
+                for threads, value in per_threads.items()]
+
+    def speedup(self, cluster: str, strategy, threads: int) -> float:
         """One data point of the figure."""
-        return self.speedups[cluster][strategy.value][threads]
+        key = getattr(strategy, "value", strategy)
+        return self.speedups[cluster][key][threads]
 
 
 def _run_sweep(phase: str, spec: WorkloadSpec | None,
                totals: dict | None = None) -> HybridSweepResult:
     wl = reference_workload(spec)
+    totals = dict(totals or CLUSTER_TOTALS)
+    campaign = hybrid_sweep_campaign(spec=wl.spec, totals=totals,
+                                     name=f"fig67-{phase}")
+    run = run_campaign(campaign)
+    elapsed = {}
+    for outcome in run.outcomes:
+        if outcome.record is None:
+            raise RuntimeError(
+                f"{outcome.job.job_id} failed: {outcome.error}")
+        job = outcome.job
+        key = (job.tag("cluster"), job.tag("strategy"),
+               int(job.tag("threads")))
+        elapsed[key] = outcome.record["metrics"]["phase_elapsed"][phase]
     speedups: dict = {}
     baselines: dict = {}
-    for cluster, total in (totals or CLUSTER_TOTALS).items():
-        base_cfg = RunConfig(cluster=cluster, nranks=total,
-                             threads_per_rank=1,
-                             assembly_strategy=Strategy.MPI_ONLY,
-                             sgs_strategy=Strategy.MPI_ONLY)
-        base = run_cfpd(base_cfg, workload=wl).phase_log.elapsed(phase)
+    for cluster in totals:
+        base = elapsed[(cluster, "mpionly", 1)]
         baselines[cluster] = base
-        speedups[cluster] = {}
-        for strategy in _STRATEGIES:
-            per_threads = {}
-            for threads in _THREADS:
-                cfg = RunConfig(cluster=cluster, nranks=total // threads,
-                                threads_per_rank=threads,
-                                assembly_strategy=strategy,
-                                sgs_strategy=strategy)
-                res = run_cfpd(cfg, workload=wl)
-                per_threads[threads] = base / res.phase_log.elapsed(phase)
-            speedups[cluster][strategy.value] = per_threads
+        speedups[cluster] = {
+            strategy: {t: base / elapsed[(cluster, strategy, t)]
+                       for t in _THREADS}
+            for strategy in _STRATEGIES}
     return HybridSweepResult(phase=phase, speedups=speedups,
-                             baselines=baselines,
-                             totals=dict(totals or CLUSTER_TOTALS))
+                             baselines=baselines, totals=totals)
 
 
 def run_fig6(spec: WorkloadSpec | None = None,

@@ -36,6 +36,12 @@ class IPCResult:
     #: {(cluster, strategy value): ipc}
     ipc: dict
 
+    def to_rows(self) -> list:
+        """Structured rows: one dict per (cluster, strategy)."""
+        return [{"cluster": cluster, "strategy": strategy, "ipc": value,
+                 "paper_ipc": PAPER_IPC.get((cluster, strategy))}
+                for (cluster, strategy), value in sorted(self.ipc.items())]
+
     def format(self) -> str:
         """Measured-vs-paper IPC table."""
         rows = []

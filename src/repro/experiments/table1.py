@@ -48,6 +48,15 @@ class Table1Result:
         paper's Table 1 rows sum to ~86 %, leaving a similar residual."""
         return 100.0 - sum(r["percent_time"] for r in self.rows)
 
+    def to_rows(self) -> list:
+        """Structured rows: one dict per phase, paper values attached."""
+        out = []
+        for row in self.rows:
+            paper = PAPER_TABLE1.get(row["phase"], (None, None))
+            out.append({**row, "paper_load_balance": paper[0],
+                        "paper_percent_time": paper[1]})
+        return out
+
     def format(self) -> str:
         """Paper-style table with measured-vs-paper columns."""
         table_rows = []

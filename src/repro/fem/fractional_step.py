@@ -28,8 +28,6 @@ divergence reduction by the projection).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
-
 import numpy as np
 from scipy import sparse
 

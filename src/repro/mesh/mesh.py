@@ -16,12 +16,12 @@ Two derived graphs drive the runtime layers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from .elements import ElementType, FACES_PER_TYPE, NODES_PER_TYPE, element_volumes
+from .elements import ElementType, NODES_PER_TYPE, element_volumes
 
 __all__ = ["Mesh", "CSRGraph"]
 

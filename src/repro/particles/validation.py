@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..mesh.generator import AirwayMesh
 from .flowfield import AirwayFlow
 from .forces import ParticleProperties

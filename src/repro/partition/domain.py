@@ -15,13 +15,12 @@ imbalance of L96 ~ 0.66 the paper measures in Table 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..mesh.generator import AirwayMesh
-from ..mesh.mesh import CSRGraph, Mesh
+from ..mesh.mesh import Mesh
 from .metis import partition_graph
 from .rcb import rcb_partition
 

@@ -21,13 +21,13 @@ sub-communicators, used by the coupled fluid/particle execution mode.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from ..machine import ClusterModel, rank_to_node
 from ..perf import toggles as _perf_toggles
 from ..sim import Engine, Event, Store
-from .pmpi import HookList, PMPIHook
+from .pmpi import HookList
 
 __all__ = [
     "ANY_SOURCE",

@@ -15,10 +15,9 @@ Paraver's:
 
 from __future__ import annotations
 
-import io
-from typing import Iterable, TextIO, Union
+from typing import TextIO, Union
 
-from .phaselog import PhaseLog, PhaseSample
+from .phaselog import PhaseLog
 
 __all__ = ["write_csv", "read_csv", "write_prv", "CSV_HEADER"]
 

@@ -9,7 +9,7 @@ particles (black), MPI (white).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

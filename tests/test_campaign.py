@@ -1,0 +1,508 @@
+"""Tests for the campaign subsystem (repro.campaign).
+
+Covers the four contracts the subsystem makes:
+
+* deterministic identity — job fingerprints are stable, sensitive to the
+  physics/runtime configuration and blind to naming/tags;
+* memoization — an identical campaign re-run performs zero simulations,
+  and different campaigns visiting the same cell share store objects;
+* concurrency — the worker pool produces a store bit-identical to the
+  serial run's;
+* crash safety — a campaign killed mid-flight (journaled) resumes to a
+  store bit-identical to an uninterrupted run's.
+"""
+
+import dataclasses
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.app import RunConfig, WorkloadSpec
+from repro.campaign import (
+    CampaignSpec,
+    Job,
+    ResultStore,
+    StoreError,
+    build_report,
+    ci_smoke_campaign,
+    classify_failure,
+    cross_run_identity,
+    dlb_figure_campaign,
+    get_campaign,
+    hybrid_sweep_campaign,
+    replay,
+    run_campaign,
+    run_job,
+)
+from repro.campaign.journal import Journal
+from repro.campaign.serialize import canonical_json, job_fingerprint
+from repro.fault import CheckpointError, FaultPlan, FaultSpec
+from repro.smpi import JobKilledError, MPIError, RankDeadError
+
+TINY = WorkloadSpec(generations=2, points_per_ring=6, n_steps=2)
+KILL2 = FaultPlan(specs=(FaultSpec(kind="job_kill", time=0.0, count=2),))
+
+
+def tiny_campaign(name="tiny"):
+    return CampaignSpec(
+        name=name,
+        base_config=RunConfig(cluster="thunder", num_nodes=1,
+                              threads_per_rank=1),
+        base_spec=TINY,
+        grid=[("config.nranks", [2, 4]),
+              ("config.dlb", [False, True])])
+
+
+def tree_digest(store):
+    """SHA-256 over every object file's relative path and bytes."""
+    h = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(store.objects_dir)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            h.update(os.path.relpath(path, store.objects_dir).encode())
+            with open(path, "rb") as fh:
+                h.update(fh.read())
+    return h.hexdigest()
+
+
+class TestFingerprints:
+    def test_deterministic(self):
+        cfg = RunConfig(nranks=8)
+        assert job_fingerprint(cfg, TINY) == job_fingerprint(cfg, TINY)
+
+    def test_sensitive_to_config_spec_and_plan(self):
+        base = job_fingerprint(RunConfig(nranks=8), TINY)
+        assert job_fingerprint(RunConfig(nranks=16), TINY) != base
+        assert job_fingerprint(
+            RunConfig(nranks=8),
+            dataclasses.replace(TINY, n_steps=3)) != base
+        assert job_fingerprint(RunConfig(nranks=8), TINY, KILL2) != base
+
+    def test_blind_to_campaign_name_index_and_tags(self):
+        cfg = RunConfig(nranks=8)
+        a = Job(index=0, campaign="a", config=cfg, spec=TINY,
+                tags=(("role", "baseline"),))
+        b = Job(index=7, campaign="b", config=cfg, spec=TINY,
+                tags=(("role", "hybrid"),))
+        assert a.fingerprint == b.fingerprint
+        assert a.job_id != b.job_id
+
+    def test_canonical_json_is_byte_stable(self):
+        assert canonical_json({"b": 1, "a": [True, None]}) == \
+            '{"a":[true,null],"b":1}'
+
+
+class TestCampaignSpec:
+    def test_expand_runs_times_grid_in_order(self):
+        campaign = CampaignSpec(
+            name="x", base_spec=TINY,
+            runs=[{"config.nranks": 2}, {"config.nranks": 4}],
+            grid=[("config.dlb", [False, True])])
+        jobs = campaign.expand()
+        assert [(j.config.nranks, j.config.dlb) for j in jobs] == \
+            [(2, False), (2, True), (4, False), (4, True)]
+        assert [j.job_id for j in jobs] == [f"x-{i:04d}" for i in range(4)]
+
+    def test_unknown_override_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown override key"):
+            CampaignSpec(name="x", grid=[("nranks", [2])])
+        with pytest.raises(ValueError, match="unknown override key"):
+            CampaignSpec(name="x", runs=[{"cfg.nranks": 2}])
+
+    def test_unknown_field_rejected_at_expand(self):
+        campaign = CampaignSpec(name="x", base_spec=TINY,
+                                grid=[("config.nrankz", [2])])
+        with pytest.raises(ValueError, match="nrankz"):
+            campaign.expand()
+
+    def test_empty_grid_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            CampaignSpec(name="x", grid=[("config.nranks", [])])
+
+    def test_file_roundtrip_preserves_identity(self, tmp_path):
+        campaign = tiny_campaign()
+        path = str(tmp_path / "campaign.json")
+        campaign.to_file(path)
+        loaded = CampaignSpec.from_file(path)
+        assert loaded.fingerprint == campaign.fingerprint
+        assert [j.fingerprint for j in loaded.expand()] == \
+            [j.fingerprint for j in campaign.expand()]
+
+    def test_with_spec_overrides(self):
+        campaign = tiny_campaign()
+        smaller = campaign.with_spec_overrides(n_steps=1)
+        assert smaller.base_spec.n_steps == 1
+        assert smaller.fingerprint != campaign.fingerprint
+
+    def test_strategy_strings_become_enums(self):
+        campaign = CampaignSpec(
+            name="x", base_spec=TINY,
+            runs=[{"config.assembly_strategy": "coloring"}])
+        job = campaign.expand()[0]
+        assert job.config.assembly_strategy.value == "coloring"
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        job = tiny_campaign().expand()[0]
+        record = run_job(job)
+        store.put(record)
+        assert job.fingerprint in store
+        assert store.get(job.fingerprint) == record
+        assert len(store) == 1
+        assert store.digest_map() == \
+            {job.fingerprint: record["simulated_digest"]}
+
+    def test_get_miss_returns_none(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        assert store.get("0" * 64) is None
+
+    def test_record_without_fingerprint_rejected(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(StoreError, match="no fingerprint"):
+            store.put({"simulated_digest": "x"})
+        with pytest.raises(StoreError, match="no simulated_digest"):
+            store.put({"fingerprint": "0" * 64})
+
+    def test_corrupt_object_raises(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        fp = "ab" + "0" * 62
+        path = store._path(fp)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        with pytest.raises(StoreError, match="corrupt"):
+            store.get(fp)
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        fp = "cd" + "0" * 62
+        path = store._path(fp)
+        os.makedirs(os.path.dirname(path))
+        with open(path, "w") as fh:
+            json.dump({"fingerprint": "0" * 64, "simulated_digest": "x"}, fh)
+        with pytest.raises(StoreError, match="claims fingerprint"):
+            store.get(fp)
+
+
+class TestJournal:
+    def test_replay_roundtrip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with Journal(path) as journal:
+            journal.append("campaign_begin", campaign="t",
+                           campaign_fingerprint="f" * 64, njobs=2)
+            journal.append("job_done", fingerprint="a" * 64, job_id="t-0000",
+                           digest="d1")
+            journal.append("job_cached", fingerprint="b" * 64,
+                           job_id="t-0001")
+            journal.append("campaign_end", executed=1, cached=1, failed=0)
+        state = replay(path)
+        assert state.campaign == "t"
+        assert state.finished and not state.killed and not state.truncated
+        assert state.done == {"a" * 64: "d1"}
+        assert state.cached == {"b" * 64}
+        assert state.completed == 2
+
+    def test_later_begin_supersedes(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with Journal(path) as journal:
+            journal.append("campaign_begin", campaign="t", njobs=2)
+            journal.append("job_done", fingerprint="a" * 64, digest="d1")
+            journal.append("campaign_killed", reason="kill", completed=1)
+            journal.append("campaign_begin", campaign="t", njobs=2)
+            journal.append("job_cached", fingerprint="a" * 64)
+            journal.append("job_done", fingerprint="b" * 64, digest="d2")
+            journal.append("campaign_end", executed=1, cached=1, failed=0)
+        state = replay(path)
+        assert state.finished and not state.killed
+        assert state.cached == {"a" * 64}
+        assert state.done == {"b" * 64: "d2"}
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with Journal(path) as journal:
+            journal.append("campaign_begin", campaign="t", njobs=2)
+            journal.append("job_done", fingerprint="a" * 64, digest="d1")
+        with open(path, "a") as fh:
+            fh.write('{"seq": 2, "event": "job_do')  # crash mid-append
+        state = replay(path)
+        assert state.truncated
+        assert state.done == {"a" * 64: "d1"}
+
+    def test_seq_continues_across_reopen(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with Journal(path) as journal:
+            journal.append("campaign_begin", campaign="t", njobs=1)
+        with Journal(path) as journal:
+            journal.append("campaign_end", executed=0, cached=0, failed=0)
+        seqs = [e["seq"] for e in replay(path).events]
+        assert seqs == [0, 1]
+
+    def test_missing_journal_is_empty_state(self, tmp_path):
+        state = replay(str(tmp_path / "nope.jsonl"))
+        assert not state.began and state.completed == 0
+
+
+class TestFailureTaxonomy:
+    def test_classification(self):
+        assert classify_failure(JobKilledError("x", 0.0)) == "simulated_kill"
+        assert classify_failure(RankDeadError("dead")) == "fault"
+        assert classify_failure(MPIError("x")) == "fault"
+        assert classify_failure(CheckpointError("x")) == "config"
+        assert classify_failure(ValueError("x")) == "config"
+        assert classify_failure(OSError("x")) == "transient"
+        assert classify_failure(TimeoutError("x")) == "transient"
+        assert classify_failure(RuntimeError("x")) == "unknown"
+
+    def test_job_level_kill_fails_without_retry(self):
+        campaign = CampaignSpec(
+            name="killed-cell",
+            base_config=RunConfig(cluster="thunder", num_nodes=1, nranks=2,
+                                  threads_per_rank=1, checkpoint_every=0),
+            base_spec=TINY,
+            runs=[{"fault_plan": {
+                "seed": 0,
+                "specs": [{"kind": "job_kill", "time": 1e-4}]}}])
+        run = run_campaign(campaign)
+        (outcome,) = run.outcomes
+        assert outcome.status == "failed"
+        assert outcome.failure_class == "simulated_kill"
+        assert outcome.attempts == 1  # deterministic: no retry
+        assert not run.ok
+
+    def test_transient_failure_retries(self, monkeypatch):
+        import repro.campaign.executor as executor
+
+        real_run_job = executor.run_job
+        calls = {"n": 0}
+
+        def flaky(job):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("worker lost")
+            return real_run_job(job)
+
+        monkeypatch.setattr(executor, "run_job", flaky)
+        campaign = CampaignSpec(
+            name="flaky",
+            base_config=RunConfig(cluster="thunder", num_nodes=1, nranks=2,
+                                  threads_per_rank=1),
+            base_spec=TINY)
+        run = run_campaign(campaign, backoff_base=0.0)
+        (outcome,) = run.outcomes
+        assert outcome.status == "done"
+        assert outcome.attempts == 2
+        assert calls["n"] == 2
+
+    def test_transient_failure_exhausts_retries(self, monkeypatch):
+        import repro.campaign.executor as executor
+
+        def always_down(job):
+            raise OSError("worker lost")
+
+        monkeypatch.setattr(executor, "run_job", always_down)
+        campaign = CampaignSpec(
+            name="down",
+            base_config=RunConfig(cluster="thunder", num_nodes=1, nranks=2,
+                                  threads_per_rank=1),
+            base_spec=TINY)
+        run = run_campaign(campaign, max_retries=1, backoff_base=0.0)
+        (outcome,) = run.outcomes
+        assert outcome.status == "failed"
+        assert outcome.failure_class == "transient"
+        assert outcome.attempts == 2
+
+
+class TestMemoization:
+    def test_rerun_is_pure_cache_hit(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        first = run_campaign(campaign, store=store)
+        assert first.executed == 4 and first.cached == 0
+        again = run_campaign(campaign, store=store)
+        assert again.executed == 0 and again.cached == 4
+        assert again.digest_map() == first.digest_map()
+
+    def test_overlapping_campaigns_share_cells(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"))
+        run_campaign(tiny_campaign("one"), store=store)
+        other = run_campaign(tiny_campaign("two"), store=store)
+        assert other.executed == 0 and other.cached == 4
+
+    def test_duplicate_cells_share_one_outcome(self, tmp_path):
+        campaign = CampaignSpec(
+            name="dup",
+            base_config=RunConfig(cluster="thunder", num_nodes=1, nranks=2,
+                                  threads_per_rank=1),
+            base_spec=TINY,
+            runs=[{"tags.copy": "a"}, {"tags.copy": "b"}])
+        store = ResultStore(str(tmp_path / "store"))
+        run = run_campaign(campaign, store=store)
+        assert len(run.outcomes) == 2
+        assert run.outcomes[0] is run.outcomes[1]  # one simulation, shared
+        assert len(store) == 1
+
+    def test_store_objects_bit_identical_across_runs(self, tmp_path):
+        campaign = tiny_campaign()
+        store_a = ResultStore(str(tmp_path / "a"))
+        store_b = ResultStore(str(tmp_path / "b"))
+        run_campaign(campaign, store=store_a)
+        run_campaign(campaign, store=store_b)
+        assert cross_run_identity(store_a, store_b)["identical"]
+        assert tree_digest(store_a) == tree_digest(store_b)
+
+
+class TestWorkerPool:
+    def test_pool_matches_serial_bit_for_bit(self, tmp_path):
+        campaign = tiny_campaign()
+        serial = ResultStore(str(tmp_path / "serial"))
+        pooled = ResultStore(str(tmp_path / "pooled"))
+        run_campaign(campaign, store=serial)
+        run = run_campaign(campaign, store=pooled, workers=2)
+        assert run.executed == 4 and run.ok
+        assert cross_run_identity(serial, pooled)["identical"]
+        assert tree_digest(serial) == tree_digest(pooled)
+
+    def test_fresh_process_per_job_matches(self, tmp_path):
+        campaign = CampaignSpec(
+            name="cold",
+            base_config=RunConfig(cluster="thunder", num_nodes=1, nranks=2,
+                                  threads_per_rank=1),
+            base_spec=TINY)
+        inline = run_campaign(campaign)
+        cold = run_campaign(campaign, fresh_process_per_job=True)
+        assert cold.digest_map() == inline.digest_map()
+
+
+class TestKillAndResume:
+    def test_kill_gate_journals_and_raises(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(JobKilledError, match="after 2 completed"):
+            run_campaign(campaign, store=store, kill_plan=KILL2)
+        state = replay(os.path.join(store.root, "journal.jsonl"))
+        assert state.killed and not state.finished
+        assert len(state.done) == 2
+        # crash-safety contract: everything journaled done is in the store
+        assert len(store) == 2
+        for fp, digest in state.done.items():
+            assert store.get(fp)["simulated_digest"] == digest
+
+    def test_resume_after_kill_bit_identical(self, tmp_path):
+        campaign = tiny_campaign()
+        uninterrupted = ResultStore(str(tmp_path / "uninterrupted"))
+        run_campaign(campaign, store=uninterrupted)
+
+        interrupted = ResultStore(str(tmp_path / "interrupted"))
+        with pytest.raises(JobKilledError):
+            run_campaign(campaign, store=interrupted, kill_plan=KILL2)
+        resumed = run_campaign(campaign, store=interrupted)
+        assert resumed.cached == 2 and resumed.executed == 2
+
+        assert cross_run_identity(uninterrupted, interrupted)["identical"]
+        assert tree_digest(uninterrupted) == tree_digest(interrupted)
+        state = replay(os.path.join(interrupted.root, "journal.jsonl"))
+        assert state.finished and not state.killed
+
+    def test_cached_cells_do_not_trip_the_kill_gate(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        run_campaign(campaign, store=store)
+        # every cell cached: the gate counts executed completions only
+        run = run_campaign(campaign, store=store, kill_plan=KILL2)
+        assert run.cached == 4
+
+
+class TestAggregation:
+    def test_report_rows_and_summary(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        run_campaign(campaign, store=store)
+        report = build_report(campaign, store)
+        assert len(report.rows) == 4 and not report.pending
+        assert report.summary["completed"] == 4
+        assert 0 < report.summary["mean_parallel_efficiency"] <= 1
+        assert report.summary["fastest"]["total_time"] <= \
+            report.summary["slowest"]["total_time"]
+        text = report.format()
+        assert "Campaign 'tiny'" in text and "4/4 cells complete" in text
+
+    def test_report_flags_pending_cells(self, tmp_path):
+        campaign = tiny_campaign()
+        store = ResultStore(str(tmp_path / "store"))
+        with pytest.raises(JobKilledError):
+            run_campaign(campaign, store=store, kill_plan=KILL2)
+        report = build_report(campaign, store)
+        assert len(report.rows) == 2 and len(report.pending) == 2
+        assert "pending: 2" in report.format()
+
+    def test_report_from_run_without_store(self):
+        campaign = tiny_campaign()
+        run = run_campaign(campaign)
+        report = build_report(campaign, store=None, run=run)
+        assert len(report.rows) == 4
+
+
+class TestFigureCampaigns:
+    def test_hybrid_sweep_shape(self):
+        campaign = hybrid_sweep_campaign(spec=TINY, totals={"thunder": 8})
+        jobs = campaign.expand()
+        # 1 MPI baseline + 3 strategies x 3 thread counts
+        assert len(jobs) == 10
+        baseline = jobs[0]
+        assert baseline.tag("role") == "baseline"
+        assert baseline.config.nranks == 8
+        for job in jobs[1:]:
+            threads = int(job.tag("threads"))
+            assert job.config.nranks * threads == 8
+
+    def test_fig6_and_fig7_memoize_each_other(self):
+        fig6 = get_campaign("fig6", TINY)
+        fig7 = get_campaign("fig7", TINY)
+        assert fig6.name != fig7.name
+        assert {j.fingerprint for j in fig6.expand()} == \
+            {j.fingerprint for j in fig7.expand()}
+
+    def test_dlb_figure_shape(self):
+        campaign = dlb_figure_campaign("thunder", spec=TINY, total=8,
+                                       splits=(4, 6))
+        jobs = campaign.expand()
+        # (sync + 2 splits) x (dlb off, on)
+        assert len(jobs) == 6
+        assert {j.config.dlb for j in jobs} == {False, True}
+        assert jobs[0].config.mode == "sync"
+        assert jobs[2].config.mode == "coupled"
+        assert jobs[2].config.fluid_ranks == 4
+
+    def test_ci_smoke_campaign_is_four_jobs(self):
+        assert len(ci_smoke_campaign().expand()) == 4
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(KeyError, match="unknown campaign"):
+            get_campaign("fig99")
+
+
+class TestJobRecord:
+    def test_record_shape_and_determinism(self):
+        job = tiny_campaign().expand()[3]  # nranks=4, dlb=True
+        record = run_job(job)
+        assert record["schema"] == "repro-campaign-job-v1"
+        assert record["fingerprint"] == job.fingerprint
+        assert record["metrics"]["total_time"] > 0
+        assert set(record["metrics"]["pop"]) == {
+            "load_balance", "communication_efficiency",
+            "parallel_efficiency"}
+        assert "assembly" in record["metrics"]["phase_elapsed"]
+        assert "dlb" in record["metrics"]  # dlb=True cell
+        assert run_job(job) == record  # bit-stable
+        canonical_json(record)  # JSON-able without loss
+
+    def test_record_has_no_wall_clock_material(self):
+        record = run_job(tiny_campaign().expand()[0])
+        text = canonical_json(record)
+        assert "ts" not in json.loads(text)
+        assert "wall" not in text

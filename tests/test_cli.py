@@ -1,8 +1,10 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
+
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import EXIT_KILLED, main
 
 
 class TestCLI:
@@ -52,3 +54,106 @@ class TestCLI:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestJSONOutput:
+    def test_run_json_is_a_job_record(self, capsys):
+        rc = main(["run", "--generations", "3", "--steps", "2",
+                   "--nranks", "8", "--json"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["schema"] == "repro-campaign-job-v1"
+        assert record["config"]["nranks"] == 8
+        assert record["metrics"]["total_time"] > 0
+
+    def test_table1_json_rows(self, capsys):
+        rc = main(["table1", "--generations", "3", "--steps", "2",
+                   "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {"assembly", "particles"} <= {r["phase"] for r in rows}
+        assert all("paper_load_balance" in r for r in rows)
+
+    def test_fig2_json_rows(self, capsys):
+        rc = main(["fig2", "--generations", "3", "--steps", "2", "--json"])
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and {"step", "rank", "phase", "t0", "t1"} <= \
+            set(rows[0])
+
+
+class TestCampaignCLI:
+    def test_run_status_report_roundtrip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        rc = main(["campaign", "run", "--name", "ci-smoke",
+                   "--store", store, "--generations", "2", "--steps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "executed" in out
+
+        rc = main(["campaign", "status", "--store", store])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "finished" in out and "objects" in out
+
+        rc = main(["campaign", "report", "--name", "ci-smoke",
+                   "--store", store, "--generations", "2", "--steps", "2"])
+        assert rc == 0
+        assert "cells complete" in capsys.readouterr().out
+
+    def test_rerun_is_cached_json(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = ["campaign", "run", "--name", "ci-smoke", "--store", store,
+                "--generations", "2", "--steps", "2", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["stats"]["executed"] == 4
+        assert main(args) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert again["stats"]["executed"] == 0
+        assert again["stats"]["cached"] == 4
+        assert again["digests"] == first["digests"]
+
+    def test_kill_then_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        rc = main(["campaign", "run", "--name", "ci-smoke",
+                   "--store", store, "--generations", "2", "--steps", "2",
+                   "--kill-after", "2"])
+        assert rc == EXIT_KILLED
+        assert "resume" in capsys.readouterr().err
+
+        rc = main(["campaign", "resume", "--name", "ci-smoke",
+                   "--store", store, "--generations", "2", "--steps", "2",
+                   "--json"])
+        assert rc == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["stats"]["cached"] == 2
+        assert resumed["stats"]["executed"] == 2
+
+    def test_spec_file_run(self, capsys, tmp_path):
+        from repro.app import RunConfig, WorkloadSpec
+        from repro.campaign import CampaignSpec
+
+        spec_path = str(tmp_path / "c.json")
+        CampaignSpec(
+            name="from-file",
+            base_config=RunConfig(cluster="thunder", num_nodes=1, nranks=2,
+                                  threads_per_rank=1),
+            base_spec=WorkloadSpec(generations=2, points_per_ring=6,
+                                   n_steps=2),
+            grid=[("config.dlb", [False, True])]).to_file(spec_path)
+        rc = main(["campaign", "run", "--spec-file", spec_path,
+                   "--store", str(tmp_path / "store"), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "from-file"
+        assert payload["stats"]["jobs"] == 2
+
+    def test_campaign_requires_name_or_spec_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--store", str(tmp_path / "s")])
+
+    def test_unknown_builtin_campaign(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--name", "nope",
+                  "--store", str(tmp_path / "s")])

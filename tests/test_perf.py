@@ -160,6 +160,53 @@ class TestBench:
         assert len(failures) == 1
         assert failures[0].startswith("b:")
 
+    def test_trajectory_uniform_host_drift_passes(self):
+        from repro.perf.bench import trajectory_check
+
+        ref = {"benchmarks": [
+            {"name": n, "after_seconds": 1.0, "kind": "kernel"}
+            for n in "abc"]}
+        cur = {"benchmarks": [  # host 30% slower, code unchanged
+            {"name": n, "after_seconds": 1.3, "kind": "kernel"}
+            for n in "abc"]}
+        trajectory, failures, drift = trajectory_check(cur, ref)
+        assert not failures
+        assert drift == pytest.approx(1 / 1.3, rel=1e-6)
+        for entry in trajectory.values():
+            assert entry["speedup_vs_reference"] < 1.0
+            assert entry["speedup_vs_reference_drift_adjusted"] == \
+                pytest.approx(1.0, abs=1e-3)
+
+    def test_trajectory_real_regression_not_masked_by_drift(self):
+        from repro.perf.bench import trajectory_check
+
+        ref = {"benchmarks": [
+            {"name": n, "after_seconds": 1.0, "kind": "kernel"}
+            for n in "abcd"]}
+        cur = {"benchmarks": [
+            {"name": "a", "after_seconds": 1.3, "kind": "kernel"},
+            {"name": "b", "after_seconds": 1.3, "kind": "kernel"},
+            {"name": "c", "after_seconds": 1.3, "kind": "kernel"},
+            {"name": "d", "after_seconds": 3.0, "kind": "kernel"}]}
+        _, failures, drift = trajectory_check(cur, ref)
+        assert drift == pytest.approx(1 / 1.3, rel=1e-6)  # median holds
+        assert len(failures) == 1 and failures[0].startswith("d:")
+
+    def test_trajectory_ignores_non_kernel_rows(self):
+        from repro.perf.bench import trajectory_check
+
+        ref = {"benchmarks": [
+            {"name": "k", "after_seconds": 1.0, "kind": "kernel"},
+            {"name": "e2e", "after_seconds": 1.0, "kind": "end_to_end"}]}
+        cur = {"benchmarks": [
+            {"name": "k", "after_seconds": 1.0, "kind": "kernel"},
+            {"name": "e2e", "after_seconds": 5.0, "kind": "end_to_end"},
+            {"name": "new", "after_seconds": 9.0, "kind": "kernel"}]}
+        trajectory, failures, drift = trajectory_check(cur, ref)
+        assert not failures            # e2e rows are recorded, not gated
+        assert drift == 1.0            # ...and excluded from the estimate
+        assert "e2e" in trajectory and "new" not in trajectory
+
     def test_run_benchmarks_micro_smoke(self, monkeypatch):
         """One table row end-to-end through the runner (fast smoke)."""
         import repro.perf.bench as bench
