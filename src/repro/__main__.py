@@ -14,6 +14,7 @@ Usage::
     python -m repro campaign status --store results/store
     python -m repro campaign resume --name demo --store results/store
     python -m repro campaign report --name demo --store results/store
+    python -m repro campaign doctor --store results/store
 
 Workload size flags (``--generations``, ``--steps``, ``--large``) apply to
 every experiment and campaign subcommand (one shared parent parser).
@@ -194,22 +195,45 @@ def _load_campaign(args):
     return campaign
 
 
-def _cmd_campaign_run(args) -> int:
-    from .campaign import ResultStore, run_campaign
+def _chaos_plan(args):
+    """Orchestration fault plan from the CLI chaos flags (``--kill-after``
+    plus per-worker ``--kill-worker-at`` / ``--wedge-worker-at`` /
+    ``--silence-worker-at`` lease-grant triggers)."""
     from .fault import FaultPlan, FaultSpec
+
+    specs = []
+    if args.kill_after is not None:
+        specs.append(FaultSpec(kind="job_kill", time=0.0,
+                               count=args.kill_after))
+    for kind, grants in (("worker_kill", args.kill_worker_at),
+                         ("worker_wedge", args.wedge_worker_at),
+                         ("heartbeat_loss", args.silence_worker_at)):
+        for grant in grants or ():
+            specs.append(FaultSpec(kind=kind, time=0.0, count=grant))
+    if not specs:
+        return None
+    return FaultPlan(specs=tuple(specs))
+
+
+def _cmd_campaign_run(args) -> int:
+    from .campaign import ResultStore, SupervisorConfig, run_campaign
     from .smpi import JobKilledError
 
     campaign = _load_campaign(args)
     store = ResultStore(args.store) if args.store else None
-    kill_plan = None
-    if args.kill_after is not None:
-        kill_plan = FaultPlan(specs=(
-            FaultSpec(kind="job_kill", time=0.0, count=args.kill_after),))
+    supervision = SupervisorConfig()
+    if args.poison_attempts is not None:
+        import dataclasses
+
+        supervision = dataclasses.replace(
+            supervision, poison_attempts=args.poison_attempts)
     progress = None if args.json else print
     try:
         run = run_campaign(campaign, store=store, workers=args.workers,
                            job_timeout=args.timeout,
-                           max_retries=args.retries, kill_plan=kill_plan,
+                           max_retries=args.retries,
+                           kill_plan=_chaos_plan(args),
+                           supervision=supervision,
                            progress=progress)
     except JobKilledError as exc:
         print(f"campaign {campaign.name!r} killed: {exc.reason} "
@@ -225,7 +249,8 @@ def _cmd_campaign_run(args) -> int:
         print(f"campaign {run.campaign!r} "
               f"({run.campaign_fingerprint[:12]}): "
               f"{s['jobs']} jobs, {s['executed']} executed, "
-              f"{s['cached']} cached, {s['failed']} failed")
+              f"{s['cached']} cached, {s['failed']} failed, "
+              f"{s['quarantined']} quarantined")
     return 0 if run.ok else 1
 
 
@@ -260,18 +285,32 @@ def _cmd_campaign_status(args) -> int:
 
 
 def _cmd_campaign_report(args) -> int:
-    from .campaign import ResultStore, build_report
+    from .campaign import ResultStore, build_report, replay
 
     campaign = _load_campaign(args)
-    report = build_report(campaign, ResultStore(args.store))
+    state = replay(os.path.join(args.store, "journal.jsonl"))
+    report = build_report(campaign, ResultStore(args.store),
+                          journal_state=state)
     if args.json:
         _print_json({"name": report.name,
                      "campaign_fingerprint": report.campaign_fingerprint,
                      "rows": report.to_rows(), "summary": report.summary,
-                     "pending": report.pending})
+                     "pending": report.pending,
+                     "degraded": report.degraded})
     else:
         print(report.format())
     return 0
+
+
+def _cmd_campaign_doctor(args) -> int:
+    from .campaign import diagnose
+
+    report = diagnose(args.store)
+    if args.json:
+        _print_json(report.summary())
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
 
 
 def _add_campaign_parser(sub, workload_parent) -> None:
@@ -305,9 +344,32 @@ def _add_campaign_parser(sub, workload_parent) -> None:
                         metavar="N",
                         help="inject a campaign-level job_kill after N "
                              "completed jobs (crash-safety drills)")
+        cp.add_argument("--kill-worker-at", type=int, action="append",
+                        default=None, metavar="G",
+                        help="SIGKILL the worker granted lease G (1-based "
+                             "grant counter; repeatable; needs --workers)")
+        cp.add_argument("--wedge-worker-at", type=int, action="append",
+                        default=None, metavar="G",
+                        help="wedge the worker granted lease G (heartbeats "
+                             "forever, never finishes; repeatable)")
+        cp.add_argument("--silence-worker-at", type=int, action="append",
+                        default=None, metavar="G",
+                        help="silence the worker granted lease G (no "
+                             "heartbeats, no result; repeatable)")
+        cp.add_argument("--poison-attempts", type=int, default=None,
+                        metavar="N",
+                        help="worker losses before a job is quarantined "
+                             "(default 3)")
         cp.add_argument("--json", action="store_true")
 
     cp = csub.add_parser("status", help="journal-based campaign progress")
+    cp.add_argument("--store", required=True, metavar="DIR")
+    cp.add_argument("--json", action="store_true")
+
+    cp = csub.add_parser("doctor",
+                         help="verify store/journal integrity (corrupt "
+                              "objects, torn journal tails, dangling "
+                              "leases); exit 1 on damage")
     cp.add_argument("--store", required=True, metavar="DIR")
     cp.add_argument("--json", action="store_true")
 
@@ -382,7 +444,8 @@ def main(argv=None) -> int:
         handler = {"run": _cmd_campaign_run,
                    "resume": _cmd_campaign_run,
                    "status": _cmd_campaign_status,
-                   "report": _cmd_campaign_report}[args.campaign_command]
+                   "report": _cmd_campaign_report,
+                   "doctor": _cmd_campaign_doctor}[args.campaign_command]
         return handler(args)
     return _cmd_experiment(args.command, args)
 

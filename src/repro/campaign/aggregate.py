@@ -4,6 +4,12 @@ Pulls every record of a campaign from the result store and condenses the
 per-job :mod:`repro.trace` POP efficiencies and phase timings into a
 campaign report — one row per cell plus matrix-wide aggregates (mean/min
 POP efficiencies, per-phase mean time share, fastest/slowest cell).
+
+When the campaign ran supervised, the report also carries a
+**degraded-completion** section: quarantined cells with their failure
+classes (from the store's quarantine area), and the lease-churn /
+retry / heartbeat counters (from the journal replay or the just-finished
+run's supervision stats).
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ class CampaignReport:
     #: fingerprints the store has no record for yet
     pending: list = field(default_factory=list)
     summary: dict = field(default_factory=dict)
+    #: degraded-completion info: quarantined cells + supervision counters
+    degraded: dict = field(default_factory=dict)
 
     def to_rows(self) -> list:
         """Structured rows (one dict per completed cell)."""
@@ -69,13 +77,45 @@ class CampaignReport:
         if self.pending:
             lines.append(f"pending: {len(self.pending)} cell(s) not in "
                          f"the store yet")
+        lines.extend(self._format_degraded())
         return "\n".join(lines)
+
+    def _format_degraded(self) -> list:
+        d = self.degraded
+        if not d:
+            return []
+        lines = []
+        quarantined = d.get("quarantined", [])
+        if quarantined:
+            lines.append(f"DEGRADED COMPLETION: {len(quarantined)} "
+                         f"quarantined cell(s)")
+            for q in quarantined:
+                lines.append(
+                    f"  {q.get('job_id', q['fingerprint'][:12])} "
+                    f"[{q.get('failure_class', 'unknown')}] after "
+                    f"{q.get('attempts', '?')} attempt(s): "
+                    f"{q.get('error', '')}")
+        sup = d.get("supervision")
+        if sup:
+            lines.append(
+                f"lease churn: {sup.get('lease_grants', 0)} grants, "
+                f"{sup.get('lease_renewals', 0)} renewals, "
+                f"{sup.get('lease_expiries', 0)} expiries; "
+                f"{sup.get('retries', 0)} retries "
+                f"({sup.get('backoff_total', 0.0):.2f}s backoff); "
+                f"{sup.get('heartbeats', 0)} heartbeats, "
+                f"{sup.get('worker_spawns', 0)} worker spawns, "
+                f"{sup.get('worker_losses', 0)} losses")
+        return lines
 
 
 def build_report(campaign: CampaignSpec, store: ResultStore,
-                 run: Optional[object] = None) -> CampaignReport:
+                 run: Optional[object] = None,
+                 journal_state: Optional[object] = None) -> CampaignReport:
     """Aggregate ``campaign`` from ``store`` (or a just-finished run's
-    in-memory records when no store was used)."""
+    in-memory records when no store was used).  ``run`` and/or a replayed
+    ``journal_state`` feed the degraded-completion section (quarantined
+    cells, lease churn, retry totals)."""
     jobs = campaign.expand()
     records = {}
     if run is not None:
@@ -106,9 +146,41 @@ def build_report(campaign: CampaignSpec, store: ResultStore,
             "simulated_digest": record["simulated_digest"],
         })
     summary = _summarize(jobs, rows)
+    degraded = _degraded(store, run, journal_state)
     return CampaignReport(name=campaign.name,
                           campaign_fingerprint=campaign.fingerprint,
-                          rows=rows, pending=pending, summary=summary)
+                          rows=rows, pending=pending, summary=summary,
+                          degraded=degraded)
+
+
+def _degraded(store, run, journal_state) -> dict:
+    degraded: dict = {}
+    quarantined = []
+    if store is not None:
+        quarantined = store.quarantined()
+    elif run is not None:
+        quarantined = [
+            {"fingerprint": o.fingerprint, "job_id": o.job.job_id,
+             "failure_class": o.failure_class, "error": o.error,
+             "attempts": o.attempts}
+            for o in run.outcomes if o.status == "quarantined"]
+    if quarantined:
+        degraded["quarantined"] = quarantined
+    supervision = None
+    if run is not None and getattr(run, "supervision", None):
+        supervision = dict(run.supervision)
+    elif journal_state is not None and \
+            getattr(journal_state, "lease_grants", 0):
+        supervision = {
+            "lease_grants": journal_state.lease_grants,
+            "lease_renewals": journal_state.lease_renewals,
+            "lease_expiries": journal_state.lease_expiries,
+            "worker_spawns": journal_state.worker_spawns,
+            "retries": journal_state.retries,
+        }
+    if supervision:
+        degraded["supervision"] = supervision
+    return degraded
 
 
 def _summarize(jobs, rows) -> dict:

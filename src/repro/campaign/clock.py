@@ -1,0 +1,66 @@
+"""Injectable time sources for the campaign execution layer.
+
+Everything in :mod:`repro.campaign` that waits — retry backoff, job
+timeouts, lease deadlines, heartbeat liveness windows — reads time through
+a :class:`Clock` instead of calling :mod:`time` directly.  Production runs
+use the default :class:`WallClock`; chaos and retry tests inject a
+:class:`VirtualClock` so exponential backoff and lease expiry happen in
+*virtual* time and the test suite stops sleeping real wall seconds.
+
+The clock only covers *orchestration* time.  Simulated physics time stays
+on the DES engine, and store records remain wall-clock-free either way.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "WallClock", "VirtualClock"]
+
+
+class Clock:
+    """Minimal time-source protocol: ``now()`` and ``sleep(dt)``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, dt: float) -> None:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real monotonic time (the default)."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, dt: float) -> None:
+        if dt > 0:
+            time.sleep(dt)
+
+
+class VirtualClock(Clock):
+    """Deterministic manual time: ``sleep`` advances instantly.
+
+    ``auto_advance`` adds a fixed increment on every ``now()`` call, which
+    lets liveness timeouts (lease expiry, heartbeat loss) trigger without
+    any real waiting in tests that poll the clock in a loop.
+    """
+
+    def __init__(self, start: float = 0.0, auto_advance: float = 0.0):
+        self._now = float(start)
+        self.auto_advance = float(auto_advance)
+        self.slept = 0.0          #: total virtual seconds spent in sleep()
+
+    def now(self) -> float:
+        self._now += self.auto_advance
+        return self._now
+
+    def sleep(self, dt: float) -> None:
+        if dt > 0:
+            self._now += dt
+            self.slept += dt
+
+    def advance(self, dt: float) -> None:
+        """Manually move time forward (chaos-test control knob)."""
+        self._now += float(dt)

@@ -1,0 +1,135 @@
+"""Store/journal integrity verification (``campaign doctor``).
+
+After a crash — of a worker, of the campaign driver, of the machine — the
+doctor answers "is this store safe to resume from, and what happened?":
+
+* every content-addressed object must parse and claim its own fingerprint
+  (:class:`~repro.campaign.store.StoreError` checks);
+* every ``job_done`` journal line must have a durable store object whose
+  simulated digest matches — the crash-safety contract (store before
+  journal) makes any violation real damage, not an artifact of timing;
+* a torn journal tail (crash mid-append) and dangling leases (jobs in
+  flight when the driver died) are flagged;
+* orphaned ``.tmp-*`` files from a crash mid-``put`` are swept by the
+  store itself at open; the doctor reports the count as a repair.
+
+Quarantined cells are reported as degraded-completion notes, not damage:
+the quarantine did its job.  Exit contract of the CLI wrapper: 0 when
+clean (repairs and notes allowed), 1 on damage.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from .journal import replay
+from .store import ResultStore, StoreError
+
+__all__ = ["DoctorReport", "diagnose"]
+
+
+@dataclass
+class DoctorReport:
+    """What the doctor found: damage fails the exit code, notes do not."""
+
+    store_root: str
+    problems: list = field(default_factory=list)
+    repairs: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    objects_checked: int = 0
+    journal_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> dict:
+        return {
+            "store": self.store_root,
+            "ok": self.ok,
+            "objects_checked": self.objects_checked,
+            "journal_events": self.journal_events,
+            "problems": list(self.problems),
+            "repairs": list(self.repairs),
+            "notes": list(self.notes),
+        }
+
+    def format(self) -> str:
+        lines = [f"campaign doctor: {self.store_root}",
+                 f"  {self.objects_checked} store object(s) checked, "
+                 f"{self.journal_events} journal event(s) replayed"]
+        for repair in self.repairs:
+            lines.append(f"  repaired: {repair}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        for problem in self.problems:
+            lines.append(f"  DAMAGE: {problem}")
+        lines.append("  verdict: " + ("clean" if self.ok else
+                                      f"{len(self.problems)} problem(s)"))
+        return "\n".join(lines)
+
+
+def diagnose(store_root: str) -> DoctorReport:
+    """Run every integrity check against the store rooted at
+    ``store_root`` and its ``journal.jsonl``."""
+    report = DoctorReport(store_root=store_root)
+    store = ResultStore(store_root)
+    if store.orphans_removed:
+        report.repairs.append(
+            f"removed {store.orphans_removed} orphaned temp file(s) left "
+            f"by a crash during a store write")
+
+    # -- objects: parseable, self-consistent ---------------------------------
+    digests = {}
+    for fp in store.fingerprints():
+        try:
+            digests[fp] = store.get(fp)["simulated_digest"]
+        except StoreError as exc:
+            report.problems.append(str(exc))
+        report.objects_checked += 1
+
+    # -- quarantine: report, don't fail --------------------------------------
+    try:
+        quarantined = store.quarantined()
+    except StoreError as exc:
+        quarantined = []
+        report.problems.append(str(exc))
+    for q in quarantined:
+        report.notes.append(
+            f"quarantined cell {q.get('job_id', '?')} "
+            f"({q.get('fingerprint', '?')[:12]}) "
+            f"[{q.get('failure_class', 'unknown')}] after "
+            f"{q.get('attempts', '?')} attempt(s)")
+
+    # -- journal: torn tail, dangling leases, done-but-missing ---------------
+    journal_path = os.path.join(store_root, "journal.jsonl")
+    state = replay(journal_path)
+    report.journal_events = len(state.events)
+    if not state.began:
+        report.notes.append("no campaign journal (store-only check)")
+        return report
+    if state.truncated:
+        report.problems.append(
+            "torn journal tail: the last line is unparsable (crash "
+            "mid-append); replay stops before it")
+    for fp, worker in sorted(state.dangling_leases.items()):
+        report.problems.append(
+            f"dangling lease on {fp[:12]} (worker {worker}): the job was "
+            f"in flight when the campaign driver died — resume to "
+            f"reclaim it")
+    for fp, digest in sorted(state.done.items()):
+        if fp not in digests:
+            report.problems.append(
+                f"journal says {fp[:12]} is done but the store has no "
+                f"object for it (crash-safety violation)")
+        elif digest is not None and digests[fp] != digest:
+            report.problems.append(
+                f"digest mismatch on {fp[:12]}: journal {digest[:12]} vs "
+                f"store {digests[fp][:12]}")
+    if state.killed:
+        report.notes.append(
+            f"campaign was killed ({state.kill_reason}) — resumable")
+    elif not state.finished:
+        report.notes.append("campaign did not finish — resumable")
+    return report

@@ -6,10 +6,12 @@ through the store/journal machinery:
 * cells whose fingerprint is already in the store are **cache hits** —
   re-running an identical campaign performs zero new simulations;
 * pending cells run either inline (``workers=0``, the deterministic serial
-  path the figure runners use), in a persistent multi-process pool
-  (``workers=N``, stdlib :mod:`concurrent.futures` only), or one fresh
-  cold process per job (``fresh_process_per_job=True`` — the pre-campaign
-  "ad-hoc script per cell" execution model, kept as the bench baseline);
+  path the figure runners use), under the **supervised worker pool**
+  (``workers=N`` — lease-based work claiming, heartbeat liveness and
+  poison-job quarantine, see :mod:`repro.campaign.supervisor`), or one
+  fresh cold process per job (``fresh_process_per_job=True`` — the
+  pre-campaign "ad-hoc script per cell" execution model, kept as the
+  bench baseline);
 * failures are classified against the :mod:`repro.fault` /
   :mod:`repro.smpi` failure taxonomy: only *transient* classes (worker
   crash, timeout) retry, with exponential backoff — a deterministic
@@ -18,37 +20,48 @@ through the store/journal machinery:
   before the next job is scheduled, so a campaign killed mid-flight
   resumes exactly where it stopped.
 
+All orchestration waiting (retry backoff, job timeouts, lease deadlines)
+reads time through an injectable :class:`~repro.campaign.clock.Clock`, so
+chaos and retry tests run in virtual time instead of sleeping real wall
+seconds.
+
 Campaign-level crash injection reuses the :class:`repro.fault.FaultPlan`
 vocabulary: ``job_kill`` specs act at the *orchestration* level — the
 campaign aborts with :class:`~repro.smpi.JobKilledError` after ``count``
 completed jobs (power loss / wall-clock limit on the sweep driver), which
-is exactly what the resume-after-kill test injects.
+is exactly what the resume-after-kill test injects.  The orchestration
+kinds (``worker_kill``, ``heartbeat_loss``, ``worker_wedge``) target
+individual pool workers instead and are handled by the supervisor.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import time
 from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
     TimeoutError as FutureTimeoutError,
-    as_completed,
 )
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..fault import CheckpointError, FaultPlan
 from ..smpi import JobKilledError, MPIError, RankDeadError
+from .clock import Clock, WallClock
 from .journal import Journal
 from .runner import run_job, warm_workload
 from .spec import CampaignSpec, Job
 from .store import ResultStore
+from .supervisor import SupervisorConfig
 
-__all__ = ["CampaignRun", "JobOutcome", "classify_failure", "run_campaign"]
+__all__ = ["CampaignRun", "JobOutcome", "QUARANTINE_SCHEMA",
+           "classify_failure", "run_campaign"]
 
 #: Exponential-backoff cap between retry attempts [s].
 BACKOFF_CAP = 1.0
+
+#: Schema tag of quarantine records parked in the store.
+QUARANTINE_SCHEMA = "repro-campaign-quarantine-v1"
 
 
 def classify_failure(exc: BaseException) -> str:
@@ -62,8 +75,31 @@ def classify_failure(exc: BaseException) -> str:
                           retry would die identically;
     ``config``          — invalid configuration or checkpoint mismatch;
     ``fault``           — a simulated MPI-level failure escaped (e.g. rank
-                          death without fault tolerance); deterministic.
+                          death without fault tolerance); deterministic;
+    ``interrupted``     — a non-``Exception`` :class:`BaseException`
+                          (``KeyboardInterrupt``, ``SystemExit``):
+                          somebody *asked* the job to stop — never retried.
+
+    A directly-unclassifiable exception is traced through its ``__cause__``
+    / ``__context__`` chain (``raise X from Y``), so a transient root cause
+    wrapped in a generic error still retries.
     """
+    label = _classify_one(exc)
+    if label != "unknown":
+        return label
+    seen = {id(exc)}
+    cause = exc.__cause__ if exc.__cause__ is not None else exc.__context__
+    while cause is not None and id(cause) not in seen:
+        seen.add(id(cause))
+        label = _classify_one(cause)
+        if label != "unknown":
+            return label
+        cause = cause.__cause__ if cause.__cause__ is not None \
+            else cause.__context__
+    return "unknown"
+
+
+def _classify_one(exc: BaseException) -> str:
     if isinstance(exc, JobKilledError):
         return "simulated_kill"
     if isinstance(exc, (RankDeadError, MPIError)):
@@ -73,6 +109,8 @@ def classify_failure(exc: BaseException) -> str:
     if isinstance(exc, (BrokenExecutor, FutureTimeoutError, TimeoutError,
                         OSError)):
         return "transient"
+    if not isinstance(exc, Exception):
+        return "interrupted"
     return "unknown"
 
 
@@ -81,7 +119,7 @@ class JobOutcome:
     """How one cell of the campaign ended."""
 
     job: Job
-    status: str                      # "done" | "cached" | "failed"
+    status: str            # "done" | "cached" | "failed" | "quarantined"
     record: Optional[dict] = None
     error: Optional[str] = None
     failure_class: Optional[str] = None
@@ -99,6 +137,8 @@ class CampaignRun:
     campaign: str
     campaign_fingerprint: str
     outcomes: list = field(default_factory=list)
+    #: supervised-pool liveness counters (lease churn, heartbeats, backoff)
+    supervision: Optional[dict] = None
 
     def _count(self, status: str) -> int:
         return sum(1 for o in self.outcomes if o.status == status)
@@ -116,8 +156,12 @@ class CampaignRun:
         return self._count("failed")
 
     @property
+    def quarantined(self) -> int:
+        return self._count("quarantined")
+
+    @property
     def ok(self) -> bool:
-        return self.failed == 0
+        return self.failed == 0 and self.quarantined == 0
 
     def records(self) -> list:
         """Records of every completed cell, in campaign order."""
@@ -128,8 +172,12 @@ class CampaignRun:
                 for o in self.outcomes if o.record is not None}
 
     def stats(self) -> dict:
-        return {"jobs": len(self.outcomes), "executed": self.executed,
-                "cached": self.cached, "failed": self.failed}
+        stats = {"jobs": len(self.outcomes), "executed": self.executed,
+                 "cached": self.cached, "failed": self.failed,
+                 "quarantined": self.quarantined}
+        if self.supervision is not None:
+            stats["supervision"] = dict(self.supervision)
+        return stats
 
 
 class _KillGate:
@@ -167,20 +215,32 @@ def run_campaign(campaign: CampaignSpec,
                  fresh_process_per_job: bool = False,
                  kill_plan: Optional[FaultPlan] = None,
                  journal: Optional[Journal] = None,
-                 progress: Optional[Callable[[str], None]] = None
+                 progress: Optional[Callable[[str], None]] = None,
+                 clock: Optional[Clock] = None,
+                 supervision: Optional[SupervisorConfig] = None
                  ) -> CampaignRun:
     """Run every cell of ``campaign``, memoized against ``store``.
 
     ``workers=0`` runs inline (serial, deterministic order); ``workers>=1``
-    uses a persistent process pool; ``fresh_process_per_job`` runs each
-    job serially in a cold spawned process instead.  ``kill_plan`` injects
-    campaign-level ``job_kill`` faults (see :class:`_KillGate`); the
-    resulting :class:`JobKilledError` propagates *after* the journal
-    records the kill, so a resume picks up exactly where it stopped.
+    uses the supervised worker pool (leases, heartbeats, quarantine — see
+    :mod:`repro.campaign.supervisor`, tunable via ``supervision``);
+    ``fresh_process_per_job`` runs each job serially in a cold spawned
+    process instead.  ``kill_plan`` injects orchestration faults:
+    campaign-level ``job_kill`` (see :class:`_KillGate`, raises
+    :class:`JobKilledError` *after* the journal records the kill so a
+    resume picks up exactly where it stopped) and the per-worker kinds
+    (``worker_kill`` / ``heartbeat_loss`` / ``worker_wedge``, supervised
+    pool only).  ``clock`` injects the orchestration time source (backoff,
+    timeouts, leases) — pass a :class:`~repro.campaign.clock.VirtualClock`
+    to run retries/chaos in virtual time.
     """
     jobs = campaign.expand()
     run = CampaignRun(campaign=campaign.name,
                       campaign_fingerprint=campaign.fingerprint)
+    if clock is None:
+        clock = WallClock()
+    if supervision is None:
+        supervision = SupervisorConfig()
     own_journal = journal is None and store is not None
     if own_journal:
         import os
@@ -196,7 +256,8 @@ def run_campaign(campaign: CampaignSpec,
                  job_timeout=job_timeout, max_retries=max_retries,
                  backoff_base=backoff_base,
                  fresh_process_per_job=fresh_process_per_job,
-                 progress=progress)
+                 progress=progress, clock=clock, supervision=supervision,
+                 kill_plan=kill_plan)
         if journal is not None:
             journal.append("campaign_end", **run.stats())
     except JobKilledError as exc:
@@ -211,7 +272,8 @@ def run_campaign(campaign: CampaignSpec,
 
 
 def _execute(jobs, run, store, journal, gate, *, workers, job_timeout,
-             max_retries, backoff_base, fresh_process_per_job, progress):
+             max_retries, backoff_base, fresh_process_per_job, progress,
+             clock, supervision, kill_plan):
     pending = []
     seen: dict = {}
     for job in jobs:
@@ -235,96 +297,52 @@ def _execute(jobs, run, store, journal, gate, *, workers, job_timeout,
     if not pending:
         return
     if workers >= 1 and not fresh_process_per_job:
-        _execute_pool(pending, store, journal, gate, workers=workers,
-                      job_timeout=job_timeout, max_retries=max_retries,
-                      backoff_base=backoff_base, progress=progress)
+        _execute_supervised(pending, run, store, journal, gate,
+                            workers=workers, job_timeout=job_timeout,
+                            max_retries=max_retries,
+                            backoff_base=backoff_base, progress=progress,
+                            clock=clock, supervision=supervision,
+                            kill_plan=kill_plan)
     else:
         _execute_serial(pending, store, journal, gate,
                         fresh_process=fresh_process_per_job,
                         job_timeout=job_timeout, max_retries=max_retries,
-                        backoff_base=backoff_base, progress=progress)
+                        backoff_base=backoff_base, progress=progress,
+                        clock=clock)
 
 
 def _execute_serial(pending, store, journal, gate, *, fresh_process,
-                    job_timeout, max_retries, backoff_base, progress):
+                    job_timeout, max_retries, backoff_base, progress,
+                    clock):
     for outcome in pending:
         _run_with_retries(outcome, journal, max_retries=max_retries,
                           backoff_base=backoff_base, job_timeout=job_timeout,
-                          fresh_process=fresh_process)
+                          fresh_process=fresh_process, clock=clock)
         _publish(outcome, store, journal, gate, progress)
 
 
-def _execute_pool(pending, store, journal, gate, *, workers, job_timeout,
-                  max_retries, backoff_base, progress):
+def _execute_supervised(pending, run, store, journal, gate, *, workers,
+                        job_timeout, max_retries, backoff_base, progress,
+                        clock, supervision, kill_plan):
+    """The supervised pool: leases, heartbeats, reclamation, quarantine."""
+    from .supervisor import Supervisor
+
     ctx = _default_mp_context()
     if ctx.get_start_method() == "fork":
         # workers inherit these precomputes through the fork
         for spec in {o.job.spec for o in pending}:
             warm_workload(spec)
-    pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
-    attempts: dict = {}
-
-    def _submit(outcome):
-        attempts.setdefault(outcome.fingerprint, 1)
-        if journal is not None:
-            journal.append("job_start", fingerprint=outcome.fingerprint,
-                           job_id=outcome.job.job_id,
-                           attempt=attempts[outcome.fingerprint])
-        return pool.submit(run_job, outcome.job)
-
-    try:
-        futures = {_submit(o): o for o in pending}
-        while futures:
-            retry_queue = []
-            for fut in as_completed(list(futures)):
-                outcome = futures.pop(fut)
-                try:
-                    record = fut.result(timeout=job_timeout)
-                except Exception as exc:  # noqa: BLE001 - classified below
-                    failure = classify_failure(exc)
-                    attempt = attempts[outcome.fingerprint]
-                    if failure == "transient" and attempt <= max_retries:
-                        if journal is not None:
-                            journal.append(
-                                "job_retry",
-                                fingerprint=outcome.fingerprint,
-                                job_id=outcome.job.job_id,
-                                failure_class=failure, error=str(exc),
-                                attempt=attempt)
-                        time.sleep(min(BACKOFF_CAP,
-                                       backoff_base * 2 ** (attempt - 1)))
-                        attempts[outcome.fingerprint] = attempt + 1
-                        retry_queue.append(outcome)
-                        if isinstance(exc, BrokenExecutor):
-                            pool.shutdown(wait=False, cancel_futures=True)
-                            pool = ProcessPoolExecutor(max_workers=workers,
-                                                       mp_context=ctx)
-                        continue
-                    outcome.status = "failed"
-                    outcome.error = str(exc)
-                    outcome.failure_class = failure
-                    outcome.attempts = attempt
-                    if journal is not None:
-                        journal.append("job_failed",
-                                       fingerprint=outcome.fingerprint,
-                                       job_id=outcome.job.job_id,
-                                       failure_class=failure,
-                                       error=str(exc))
-                    _say(progress, f"{outcome.job.job_id}: FAILED "
-                                   f"[{failure}] {exc}")
-                    continue
-                outcome.status = "done"
-                outcome.record = record
-                outcome.attempts = attempts[outcome.fingerprint]
-                _publish(outcome, store, journal, gate, progress)
-            for outcome in retry_queue:
-                futures[_submit(outcome)] = outcome
-    finally:
-        pool.shutdown(wait=False, cancel_futures=True)
+    sup = Supervisor(pending, store, journal, gate, workers=workers,
+                     mp_context=ctx, config=supervision, clock=clock,
+                     max_retries=max_retries, backoff_base=backoff_base,
+                     job_timeout=job_timeout, fault_plan=kill_plan,
+                     progress=progress)
+    run.supervision = sup.stats
+    sup.run()
 
 
 def _run_with_retries(outcome, journal, *, max_retries, backoff_base,
-                      job_timeout, fresh_process):
+                      job_timeout, fresh_process, clock):
     job = outcome.job
     for attempt in range(1, max_retries + 2):
         outcome.attempts = attempt
@@ -346,8 +364,8 @@ def _run_with_retries(outcome, journal, *, max_retries, backoff_base,
                                    fingerprint=outcome.fingerprint,
                                    job_id=job.job_id, failure_class=failure,
                                    error=str(exc), attempt=attempt)
-                time.sleep(min(BACKOFF_CAP,
-                               backoff_base * 2 ** (attempt - 1)))
+                clock.sleep(min(BACKOFF_CAP,
+                                backoff_base * 2 ** (attempt - 1)))
                 continue
             outcome.status = "failed"
             outcome.error = str(exc)
@@ -381,6 +399,7 @@ def _publish(outcome, store, journal, gate, progress) -> None:
         return
     if store is not None:
         store.put(outcome.record)
+        store.clear_quarantine(outcome.fingerprint)
     if journal is not None:
         journal.append("job_done", fingerprint=outcome.fingerprint,
                        job_id=outcome.job.job_id,

@@ -19,7 +19,21 @@ here, never in store objects, so stores stay bit-identical across runs)::
     job_retry         {fingerprint, job_id, failure_class, error, attempt}
     job_failed        {fingerprint, job_id, failure_class, error}
     campaign_killed   {reason, completed}
-    campaign_end      {executed, cached, failed}
+    campaign_end      {executed, cached, failed, quarantined}
+
+Supervised-pool events (see :mod:`repro.campaign.supervisor`)::
+
+    worker_spawned    {worker}
+    lease_granted     {fingerprint, job_id, worker, attempt, duration}
+    lease_renewed     {fingerprint, worker, renewals}
+    lease_expired     {fingerprint, job_id, worker, reason, renewals}
+    job_quarantined   {fingerprint, job_id, failure_class, error,
+                       attempts, worker_losses}
+
+A ``lease_granted`` with no matching ``lease_expired`` / ``job_done`` /
+``job_failed`` / ``job_quarantined`` is a **dangling lease** — the
+campaign driver itself died with the job in flight (``campaign doctor``
+flags these).
 """
 
 from __future__ import annotations
@@ -75,12 +89,19 @@ class JournalState:
     done: dict = field(default_factory=dict)      # fingerprint -> digest
     cached: set = field(default_factory=set)
     failed: dict = field(default_factory=dict)    # fingerprint -> class
+    quarantined: dict = field(default_factory=dict)  # fingerprint -> class
     retries: int = 0
     began: bool = False
     finished: bool = False
     killed: bool = False
     kill_reason: Optional[str] = None
     truncated: bool = False
+    # supervised-pool liveness counters
+    worker_spawns: int = 0
+    lease_grants: int = 0
+    lease_renewals: int = 0
+    lease_expiries: int = 0
+    active_leases: dict = field(default_factory=dict)  # fp -> worker
 
     @property
     def completed(self) -> int:
@@ -90,6 +111,12 @@ class JournalState:
     def in_progress(self) -> bool:
         return self.began and not self.finished
 
+    @property
+    def dangling_leases(self) -> dict:
+        """Leases granted but never resolved — jobs in flight when the
+        campaign driver died (``{fingerprint: worker}``)."""
+        return dict(self.active_leases)
+
     def summary(self) -> dict:
         return {
             "campaign": self.campaign,
@@ -98,10 +125,16 @@ class JournalState:
             "executed": len(self.done),
             "cached": len(self.cached),
             "failed": len(self.failed),
+            "quarantined": len(self.quarantined),
             "retries": self.retries,
             "finished": self.finished,
             "killed": self.killed,
             "truncated": self.truncated,
+            "worker_spawns": self.worker_spawns,
+            "lease_grants": self.lease_grants,
+            "lease_renewals": self.lease_renewals,
+            "lease_expiries": self.lease_expiries,
+            "dangling_leases": len(self.active_leases),
         }
 
 
@@ -137,16 +170,35 @@ def replay(path: str) -> JournalState:
                 state.done.clear()
                 state.cached.clear()
                 state.failed.clear()
+                state.quarantined.clear()
+                state.active_leases.clear()
             elif event == "job_cached":
                 state.cached.add(line["fingerprint"])
             elif event == "job_done":
                 state.done[line["fingerprint"]] = line.get("digest")
                 state.failed.pop(line["fingerprint"], None)
+                state.active_leases.pop(line["fingerprint"], None)
             elif event == "job_retry":
                 state.retries += 1
             elif event == "job_failed":
                 state.failed[line["fingerprint"]] = \
                     line.get("failure_class", "unknown")
+                state.active_leases.pop(line["fingerprint"], None)
+            elif event == "job_quarantined":
+                state.quarantined[line["fingerprint"]] = \
+                    line.get("failure_class", "unknown")
+                state.active_leases.pop(line["fingerprint"], None)
+            elif event == "worker_spawned":
+                state.worker_spawns += 1
+            elif event == "lease_granted":
+                state.lease_grants += 1
+                state.active_leases[line["fingerprint"]] = \
+                    line.get("worker")
+            elif event == "lease_renewed":
+                state.lease_renewals += 1
+            elif event == "lease_expired":
+                state.lease_expiries += 1
+                state.active_leases.pop(line["fingerprint"], None)
             elif event == "campaign_killed":
                 state.killed = True
                 state.kill_reason = line.get("reason")

@@ -11,7 +11,17 @@ lean on.
 Writes are crash-safe: the record lands in a temp file in the final
 directory and is published with :func:`os.replace` after an fsync, so a
 killed campaign never leaves a torn object — only missing ones, which the
-next run simply recomputes.
+next run simply recomputes.  A crash *between* the temp write and the
+rename leaves an orphaned ``.tmp-*`` file; opening a store sweeps those
+away (counted in :meth:`ResultStore.stats` as ``orphans_removed``).
+
+Besides the content-addressed objects the store keeps a **quarantine**
+area (``quarantine/<fp>.json``): poison jobs — cells that repeatedly
+crashed their workers — are parked there with their failure taxonomy by
+the supervisor instead of failing the campaign.  Quarantine records carry
+run metadata (attempt counts, loss reasons), live outside ``objects/``,
+and therefore stay out of the bit-identity surface; a later successful
+run of the cell clears its quarantine record.
 """
 
 from __future__ import annotations
@@ -36,11 +46,37 @@ class ResultStore:
     def __init__(self, root: str):
         self.root = root
         self.objects_dir = os.path.join(root, "objects")
+        self.quarantine_dir = os.path.join(root, "quarantine")
         os.makedirs(self.objects_dir, exist_ok=True)
+        #: orphaned ``.tmp-*`` files (crash mid-``put``) swept at open
+        self.orphans_removed = self._sweep_orphans()
 
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.objects_dir, fingerprint[:2],
                             f"{fingerprint}.json")
+
+    def _quarantine_path(self, fingerprint: str) -> str:
+        return os.path.join(self.quarantine_dir, f"{fingerprint}.json")
+
+    def _sweep_orphans(self) -> int:
+        """Remove temp files a crash during :meth:`put` left behind.
+
+        Objects are only ever published via ``os.replace``, so any
+        ``.tmp-*`` file found at open time belongs to a writer that died
+        mid-write — its record was never durable and its cell will simply
+        be recomputed.
+        """
+        removed = 0
+        for base in (self.objects_dir, self.quarantine_dir):
+            for dirpath, _dirnames, filenames in os.walk(base):
+                for name in filenames:
+                    if name.startswith(".tmp-"):
+                        try:
+                            os.unlink(os.path.join(dirpath, name))
+                            removed += 1
+                        except OSError:  # pragma: no cover - racing sweep
+                            pass
+        return removed
 
     # -- reads --------------------------------------------------------------
 
@@ -89,7 +125,9 @@ class ResultStore:
         for fp in self.fingerprints():
             nbytes += os.path.getsize(self._path(fp))
             count += 1
-        return {"objects": count, "bytes": nbytes, "root": self.root}
+        return {"objects": count, "bytes": nbytes, "root": self.root,
+                "orphans_removed": self.orphans_removed,
+                "quarantined": len(self.quarantined())}
 
     # -- writes -------------------------------------------------------------
 
@@ -105,8 +143,11 @@ class ResultStore:
         if "simulated_digest" not in record:
             raise StoreError("record has no simulated_digest")
         path = self._path(fingerprint)
+        self._atomic_write(path, serialize.canonical_json(record) + "\n")
+        return path
+
+    def _atomic_write(self, path: str, payload: str) -> None:
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        payload = serialize.canonical_json(record) + "\n"
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    prefix=".tmp-", suffix=".json")
         try:
@@ -122,7 +163,45 @@ class ResultStore:
                 pass
             raise StoreError(f"cannot write store object {path!r}: {exc}") \
                 from exc
+
+    # -- quarantine ---------------------------------------------------------
+
+    def quarantine_put(self, record: dict) -> str:
+        """Park a poison-job record (atomically, like an object write)."""
+        fingerprint = record.get("fingerprint")
+        if not fingerprint:
+            raise StoreError("quarantine record has no fingerprint")
+        path = self._quarantine_path(fingerprint)
+        self._atomic_write(path, serialize.canonical_json(record) + "\n")
         return path
+
+    def quarantined(self) -> list:
+        """Every parked quarantine record, sorted by fingerprint."""
+        records = []
+        try:
+            names = sorted(os.listdir(self.quarantine_dir))
+        except FileNotFoundError:
+            return records
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.quarantine_dir, name)
+            try:
+                with open(path) as fh:
+                    records.append(json.load(fh))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise StoreError(
+                    f"corrupt quarantine record {path!r}: {exc}") from exc
+        return records
+
+    def clear_quarantine(self, fingerprint: str) -> bool:
+        """Un-park a cell (e.g. after it finally completed); True if a
+        record was removed."""
+        try:
+            os.unlink(self._quarantine_path(fingerprint))
+            return True
+        except FileNotFoundError:
+            return False
 
 
 def cross_run_identity(a: ResultStore, b: ResultStore) -> dict:

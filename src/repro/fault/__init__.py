@@ -21,7 +21,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .injector import FaultEvent, FaultInjector, exercise_solver_fault
-from .plan import KINDS, FaultPlan, FaultSpec
+from .plan import KINDS, ORCHESTRATION_KINDS, FaultPlan, FaultSpec
 from .report import resilience_report
 
 __all__ = [
@@ -33,6 +33,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "KINDS",
+    "ORCHESTRATION_KINDS",
     "exercise_solver_fault",
     "load_checkpoint",
     "resilience_report",

@@ -16,7 +16,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..smpi import World
-from .plan import FaultPlan, FaultSpec
+from .plan import ORCHESTRATION_KINDS, FaultPlan, FaultSpec
 
 __all__ = ["FaultEvent", "FaultInjector", "exercise_solver_fault"]
 
@@ -75,7 +75,9 @@ class FaultInjector:
 
         Specs whose trigger time already passed (a restarted run resuming
         at ``engine.now > 0``) are skipped: their damage is part of the
-        checkpointed history, not of the remaining run.
+        checkpointed history, not of the remaining run.  Orchestration
+        kinds (worker kill, heartbeat loss, wedge) act on the campaign
+        executor, not inside a simulated run, so they are ignored here.
         """
         if self._started:
             return
@@ -83,6 +85,8 @@ class FaultInjector:
         self.world.fault_controller = self
         now = self.world.engine.now
         for spec in self.plan:
+            if spec.kind in ORCHESTRATION_KINDS:
+                continue
             if spec.time < now:
                 continue
             self.world.engine.process(

@@ -14,7 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["KINDS", "FaultSpec", "FaultPlan"]
+__all__ = ["KINDS", "ORCHESTRATION_KINDS", "FaultSpec", "FaultPlan"]
 
 #: Supported fault kinds:
 #:
@@ -30,8 +30,23 @@ __all__ = ["KINDS", "FaultSpec", "FaultPlan"]
 #:                      ``count`` (bit-flip in the solver phase);
 #: ``job_kill``       — abort the whole simulated job (power loss /
 #:                      wall-clock limit), exercising checkpoint/restart.
+#:
+#: Orchestration-level kinds act on the *campaign executor*, not inside a
+#: simulated run.  Their trigger is ``count`` — the 1-based lease-grant
+#: sequence number at which they fire (deterministic regardless of wall
+#: time); ``time`` is unused and should stay 0:
+#:
+#: ``worker_kill``    — SIGKILL the pool worker holding lease ``count``
+#:                      (node crash / OOM kill of a sweep worker);
+#: ``heartbeat_loss`` — the worker granted lease ``count`` goes silent:
+#:                      no heartbeats, no result (stuck in a syscall,
+#:                      partitioned network);
+#: ``worker_wedge``   — the worker granted lease ``count`` keeps
+#:                      heartbeating but never finishes its job (livelock).
+ORCHESTRATION_KINDS = ("worker_kill", "heartbeat_loss", "worker_wedge")
+
 KINDS = ("straggler", "rank_death", "msg_delay", "msg_drop",
-         "solver_perturb", "job_kill")
+         "solver_perturb", "job_kill") + ORCHESTRATION_KINDS
 
 
 @dataclass(frozen=True)
@@ -67,6 +82,10 @@ class FaultSpec:
             raise ValueError("msg_delay faults need a delay > 0")
         if self.kind == "msg_drop" and self.count <= 0:
             raise ValueError("msg_drop faults need a count > 0")
+        if self.kind in ORCHESTRATION_KINDS and self.count <= 0:
+            raise ValueError(
+                f"{self.kind} faults need count >= 1 (the 1-based "
+                f"lease-grant sequence number that triggers them)")
         if self.kind in ("straggler", "rank_death", "msg_delay", "msg_drop") \
                 and self.rank < 0:
             raise ValueError(f"{self.kind} faults need a target rank")
@@ -96,6 +115,13 @@ class FaultPlan:
         """All specs of one kind, in trigger order."""
         return sorted((s for s in self.specs if s.kind == kind),
                       key=lambda s: s.time)
+
+    def orchestration(self) -> list[FaultSpec]:
+        """Campaign-executor-level specs (worker kill / heartbeat loss /
+        wedge), in lease-grant trigger order."""
+        return sorted((s for s in self.specs
+                       if s.kind in ORCHESTRATION_KINDS),
+                      key=lambda s: (s.count, s.kind))
 
     @classmethod
     def random(cls, seed: int, nranks: int, t_end: float,

@@ -29,6 +29,7 @@ from repro.campaign import (
     ci_smoke_campaign,
     classify_failure,
     cross_run_identity,
+    diagnose,
     dlb_figure_campaign,
     get_campaign,
     hybrid_sweep_campaign,
@@ -189,6 +190,69 @@ class TestResultStore:
             store.get(fp)
 
 
+class TestStoreRecovery:
+    def test_orphaned_temp_files_swept_at_open(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put({"fingerprint": "a" * 64, "simulated_digest": "d"})
+        # a crash mid-put leaves a temp file next to the objects
+        shard = os.path.join(store.objects_dir, "aa")
+        with open(os.path.join(shard, ".tmp-dead.json"), "w") as fh:
+            fh.write('{"half": ')
+        os.makedirs(store.quarantine_dir, exist_ok=True)
+        with open(os.path.join(store.quarantine_dir,
+                               ".tmp-dead2.json"), "w") as fh:
+            fh.write("{")
+        reopened = ResultStore(str(tmp_path))
+        assert reopened.orphans_removed == 2
+        assert reopened.stats()["orphans_removed"] == 2
+        assert not [n for n in os.listdir(shard) if n.startswith(".tmp-")]
+        assert reopened.get("a" * 64)["simulated_digest"] == "d"
+
+    def test_clean_store_sweeps_nothing(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        store.put({"fingerprint": "a" * 64, "simulated_digest": "d"})
+        assert ResultStore(str(tmp_path)).orphans_removed == 0
+
+    def test_quarantine_roundtrip(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        assert store.quarantined() == []
+        record = {"fingerprint": "b" * 64, "job_id": "t-0001",
+                  "failure_class": "worker_crash", "attempts": 3}
+        store.quarantine_put(record)
+        (parked,) = store.quarantined()
+        assert parked["job_id"] == "t-0001"
+        assert store.stats()["quarantined"] == 1
+        assert store.clear_quarantine("b" * 64)
+        assert store.quarantined() == []
+        assert not store.clear_quarantine("b" * 64)  # already gone
+
+    def test_quarantine_requires_fingerprint(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(str(tmp_path)).quarantine_put({"job_id": "x"})
+
+    def test_quarantine_outside_identity_surface(self, tmp_path):
+        import hashlib
+
+        def objects_digest(store):
+            h = hashlib.sha256()
+            for dirpath, dirnames, filenames in \
+                    sorted(os.walk(store.objects_dir)):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    path = os.path.join(dirpath, name)
+                    h.update(os.path.relpath(
+                        path, store.objects_dir).encode())
+                    with open(path, "rb") as fh:
+                        h.update(fh.read())
+            return h.hexdigest()
+
+        store = ResultStore(str(tmp_path))
+        store.put({"fingerprint": "a" * 64, "simulated_digest": "d"})
+        before = objects_digest(store)
+        store.quarantine_put({"fingerprint": "b" * 64, "job_id": "x"})
+        assert objects_digest(store) == before
+
+
 class TestJournal:
     def test_replay_roundtrip(self, tmp_path):
         path = str(tmp_path / "journal.jsonl")
@@ -246,6 +310,61 @@ class TestJournal:
         state = replay(str(tmp_path / "nope.jsonl"))
         assert not state.began and state.completed == 0
 
+    def test_lease_lifecycle_replay(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with Journal(path) as journal:
+            journal.append("campaign_begin", campaign="t", njobs=2)
+            journal.append("worker_spawned", worker="w0")
+            journal.append("lease_granted", fingerprint="a" * 64,
+                           job_id="t-0000", worker="w0", attempt=1,
+                           duration=2.0)
+            journal.append("lease_renewed", fingerprint="a" * 64,
+                           worker="w0", renewals=1)
+            journal.append("lease_expired", fingerprint="a" * 64,
+                           job_id="t-0000", worker="w0",
+                           reason="heartbeat_timeout", renewals=1)
+            journal.append("lease_granted", fingerprint="a" * 64,
+                           job_id="t-0000", worker="w1", attempt=2,
+                           duration=2.0)
+            journal.append("job_done", fingerprint="a" * 64,
+                           job_id="t-0000", digest="d1")
+        state = replay(path)
+        assert state.worker_spawns == 1
+        assert state.lease_grants == 2
+        assert state.lease_renewals == 1
+        assert state.lease_expiries == 1
+        assert state.dangling_leases == {}  # the regrant resolved as done
+        assert state.summary()["dangling_leases"] == 0
+
+    def test_dangling_lease_flagged(self, tmp_path):
+        # the driver died with a job in flight: granted, never resolved
+        path = str(tmp_path / "journal.jsonl")
+        with Journal(path) as journal:
+            journal.append("campaign_begin", campaign="t", njobs=1)
+            journal.append("lease_granted", fingerprint="a" * 64,
+                           job_id="t-0000", worker="w0", attempt=1,
+                           duration=2.0)
+        state = replay(path)
+        assert state.dangling_leases == {"a" * 64: "w0"}
+        assert state.in_progress
+
+    def test_quarantine_resolves_a_lease(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with Journal(path) as journal:
+            journal.append("campaign_begin", campaign="t", njobs=1)
+            journal.append("lease_granted", fingerprint="a" * 64,
+                           job_id="t-0000", worker="w0", attempt=3,
+                           duration=2.0)
+            journal.append("job_quarantined", fingerprint="a" * 64,
+                           job_id="t-0000", failure_class="worker_crash",
+                           error="poison", attempts=3, worker_losses=3)
+            journal.append("campaign_end", executed=0, cached=0, failed=0,
+                           quarantined=1)
+        state = replay(path)
+        assert state.quarantined == {"a" * 64: "worker_crash"}
+        assert state.dangling_leases == {}
+        assert state.finished
+
 
 class TestFailureTaxonomy:
     def test_classification(self):
@@ -257,6 +376,56 @@ class TestFailureTaxonomy:
         assert classify_failure(OSError("x")) == "transient"
         assert classify_failure(TimeoutError("x")) == "transient"
         assert classify_failure(RuntimeError("x")) == "unknown"
+
+    def test_chained_cause_is_traced(self):
+        # raise X from Y: a transient root cause wrapped in a generic
+        # error must still classify as transient (and thus retry)
+        try:
+            try:
+                raise OSError("pipe broke")
+            except OSError as inner:
+                raise RuntimeError("job harness failed") from inner
+        except RuntimeError as exc:
+            chained = exc
+        assert classify_failure(chained) == "transient"
+
+    def test_implicit_context_is_traced(self):
+        # raise during except: __context__ (no explicit "from")
+        try:
+            try:
+                raise JobKilledError("kill", 0.0)
+            except JobKilledError:
+                raise RuntimeError("cleanup failed")
+        except RuntimeError as exc:
+            chained = exc
+        assert classify_failure(chained) == "simulated_kill"
+
+    def test_direct_label_wins_over_the_chain(self):
+        # the outermost classifiable exception decides; the chain is only
+        # consulted for otherwise-unknown wrappers
+        try:
+            try:
+                raise OSError("transient root")
+            except OSError as inner:
+                raise ValueError("bad config") from inner
+        except ValueError as exc:
+            chained = exc
+        assert classify_failure(chained) == "config"
+
+    def test_unknown_chain_stays_unknown(self):
+        try:
+            try:
+                raise RuntimeError("inner mystery")
+            except RuntimeError as inner:
+                raise RuntimeError("outer mystery") from inner
+        except RuntimeError as exc:
+            chained = exc
+        assert classify_failure(chained) == "unknown"
+
+    def test_base_exceptions_classify_as_interrupted(self):
+        assert classify_failure(KeyboardInterrupt()) == "interrupted"
+        assert classify_failure(SystemExit(1)) == "interrupted"
+        assert classify_failure(GeneratorExit()) == "interrupted"
 
     def test_job_level_kill_fails_without_retry(self):
         campaign = CampaignSpec(
@@ -506,3 +675,92 @@ class TestJobRecord:
         text = canonical_json(record)
         assert "ts" not in json.loads(text)
         assert "wall" not in text
+
+
+class TestDoctor:
+    def _healthy_store(self, tmp_path):
+        root = str(tmp_path / "store")
+        run_campaign(tiny_campaign(), ResultStore(root))
+        return root
+
+    def test_clean_store_is_clean(self, tmp_path):
+        root = self._healthy_store(tmp_path)
+        report = diagnose(root)
+        assert report.ok
+        assert report.objects_checked == 4
+        assert report.journal_events > 0
+        assert report.summary()["problems"] == []
+        assert "verdict: clean" in report.format()
+
+    def test_corrupt_object_is_damage(self, tmp_path):
+        root = self._healthy_store(tmp_path)
+        store = ResultStore(root)
+        fp = next(store.fingerprints())
+        with open(store._path(fp), "w") as fh:
+            fh.write("{ not json")
+        report = diagnose(root)
+        assert not report.ok
+        assert any("corrupt" in p for p in report.problems)
+
+    def test_fingerprint_mismatch_is_damage(self, tmp_path):
+        root = self._healthy_store(tmp_path)
+        store = ResultStore(root)
+        fps = list(store.fingerprints())
+        # object claims a different identity than its address
+        record = store.get(fps[0])
+        record["fingerprint"] = fps[1]
+        with open(store._path(fps[0]), "w") as fh:
+            fh.write(canonical_json(record))
+        report = diagnose(root)
+        assert not report.ok
+        assert any("claims fingerprint" in p for p in report.problems)
+
+    def test_done_but_missing_object_is_damage(self, tmp_path):
+        root = self._healthy_store(tmp_path)
+        store = ResultStore(root)
+        fp = next(store.fingerprints())
+        os.unlink(store._path(fp))
+        report = diagnose(root)
+        assert not report.ok
+        assert any("store has no object" in p for p in report.problems)
+
+    def test_torn_tail_and_dangling_lease_are_damage(self, tmp_path):
+        root = self._healthy_store(tmp_path)
+        journal = os.path.join(root, "journal.jsonl")
+        with Journal(journal) as jr:
+            jr.append("lease_granted", fingerprint="e" * 64,
+                      job_id="t-0009", worker="w9", attempt=1,
+                      duration=2.0)
+        with open(journal, "a") as fh:
+            fh.write('{"seq": 99, "event": "job_')
+        report = diagnose(root)
+        assert not report.ok
+        assert any("torn journal tail" in p for p in report.problems)
+        assert any("dangling lease" in p for p in report.problems)
+
+    def test_orphan_sweep_reported_as_repair(self, tmp_path):
+        root = self._healthy_store(tmp_path)
+        store = ResultStore(root)
+        shard = os.path.dirname(store._path(next(store.fingerprints())))
+        with open(os.path.join(shard, ".tmp-crash.json"), "w") as fh:
+            fh.write("{")
+        report = diagnose(root)
+        assert report.ok  # a repair, not damage
+        assert any("orphaned temp" in r for r in report.repairs)
+
+    def test_quarantined_cells_are_notes_not_damage(self, tmp_path):
+        root = self._healthy_store(tmp_path)
+        ResultStore(root).quarantine_put(
+            {"fingerprint": "c" * 64, "job_id": "t-0042",
+             "failure_class": "worker_crash", "attempts": 3})
+        report = diagnose(root)
+        assert report.ok
+        assert any("quarantined cell" in n for n in report.notes)
+
+    def test_store_without_journal_is_notes_only(self, tmp_path):
+        store = ResultStore(str(tmp_path / "bare"))
+        record = run_job(tiny_campaign().expand()[0])
+        store.put(record)
+        report = diagnose(store.root)
+        assert report.ok
+        assert any("no campaign journal" in n for n in report.notes)

@@ -149,6 +149,46 @@ class TestCampaignCLI:
         assert payload["campaign"] == "from-file"
         assert payload["stats"]["jobs"] == 2
 
+    def test_worker_chaos_run_converges_and_reports(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        rc = main(["campaign", "run", "--name", "ci-smoke",
+                   "--store", store, "--generations", "2", "--steps", "2",
+                   "--workers", "2", "--kill-worker-at", "1", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["executed"] == 4
+        sup = payload["stats"]["supervision"]
+        assert sup["worker_losses"] == 1
+        assert sup["lease_grants"] == 5
+
+    def test_doctor_clean_store_exits_zero(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--name", "ci-smoke",
+                     "--store", store, "--generations", "2",
+                     "--steps", "2", "--json"]) == 0
+        capsys.readouterr()
+        rc = main(["campaign", "doctor", "--store", store])
+        assert rc == 0
+        assert "verdict: clean" in capsys.readouterr().out
+
+    def test_doctor_flags_damage_exits_one(self, capsys, tmp_path):
+        from repro.campaign import ResultStore
+
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", "--name", "ci-smoke",
+                     "--store", store, "--generations", "2",
+                     "--steps", "2", "--json"]) == 0
+        capsys.readouterr()
+        rs = ResultStore(store)
+        fp = next(rs.fingerprints())
+        with open(rs._path(fp), "w") as fh:
+            fh.write("{ torn")
+        rc = main(["campaign", "doctor", "--store", store, "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert any("corrupt" in p for p in payload["problems"])
+
     def test_campaign_requires_name_or_spec_file(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["campaign", "run", "--store", str(tmp_path / "s")])

@@ -246,6 +246,46 @@ class TestFaultPlan:
         times = [s.time for s in plan.for_kind("straggler")]
         assert times == [1.0, 2.0]
 
+    def test_orchestration_kinds_need_a_grant_number(self):
+        from repro.fault import ORCHESTRATION_KINDS
+
+        for kind in ORCHESTRATION_KINDS:
+            with pytest.raises(ValueError, match="count >= 1"):
+                FaultSpec(kind=kind, time=0.0)
+            spec = FaultSpec(kind=kind, time=0.0, count=3)
+            assert spec.count == 3
+
+    def test_orchestration_selector_sorted_by_grant(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="worker_wedge", time=0.0, count=5),
+            FaultSpec(kind="rank_death", time=0.5, rank=1),
+            FaultSpec(kind="worker_kill", time=0.0, count=2),
+            FaultSpec(kind="heartbeat_loss", time=0.0, count=4),
+        ))
+        assert [(s.count, s.kind) for s in plan.orchestration()] == \
+            [(2, "worker_kill"), (4, "heartbeat_loss"), (5, "worker_wedge")]
+
+    def test_injector_ignores_orchestration_kinds(self):
+        # worker-level faults act on the campaign executor, not on the
+        # simulated DES run: the injector must not schedule any trigger
+        eng = Engine()
+        world = World(eng, marenostrum4(), 2)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="worker_kill", time=0.0, count=1),
+            FaultSpec(kind="heartbeat_loss", time=0.0, count=2),
+            FaultSpec(kind="worker_wedge", time=0.0, count=3),
+        ))
+        injector = FaultInjector(world, plan)
+        injector.start()
+
+        def program(comm):
+            yield from comm.compute(1e-6)
+            return "done"
+
+        results = world.run(world.launch(program))
+        assert results == ["done", "done"]
+        assert injector.events == []  # nothing fired inside the DES run
+
 
 class TestInjectedRuns:
     def test_straggler_slows_the_run(self):
