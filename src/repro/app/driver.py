@@ -144,6 +144,10 @@ class RunResult:
     faults: object = None              # FaultInjector if a plan was injected
     #: (step, sim_time) of every checkpoint written during the run
     checkpoints: list = field(default_factory=list)
+    #: host-side engine diagnostics (perf.instrument.engine_counters):
+    #: event/cohort/arena/plan counters.  Wall-clock instrumentation only —
+    #: never part of the simulated digest or the checkpoint bytes.
+    engine_diag: dict = field(default_factory=dict)
 
     def mpi_seconds_by_rank(self):
         """Blocking-MPI time per rank (needs collect_mpi_trace=True)."""
@@ -647,6 +651,7 @@ def run_cfpd(config: RunConfig,
     else:
         raise ValueError(f"unknown mode {config.mode!r}")
     world.run(procs)
+    from ..perf.instrument import engine_counters
     return RunResult(config=config,
                      total_time=engine.now,
                      phase_log=ctx.log,
@@ -656,4 +661,5 @@ def run_cfpd(config: RunConfig,
                      n_particles=wl.n_particles,
                      tracer=tracer,
                      faults=injector,
-                     checkpoints=checkpoints)
+                     checkpoints=checkpoints,
+                     engine_diag=engine_counters(engine))

@@ -21,6 +21,7 @@ Scheduling semantics:
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Protocol
@@ -71,6 +72,109 @@ class GraphStats:
             return 0.0
         cycles = self.busy_seconds * core.freq_ghz * 1e9
         return self.instructions / cycles
+
+
+class _Plan:
+    """A fully materialized execution schedule of one graph run.
+
+    Produced by :meth:`Team._plan_sim` (or instantiated from a cached
+    template): per-task start/finish times in dispatch order, finish times
+    in completion order, and the final stats sums — everything the scalar
+    engine would compute task by task, computed up front so the DES carries
+    a *single* completion event for the whole graph.
+    """
+
+    __slots__ = ("d_tids", "d_start", "d_finish", "d_dur", "c_finish",
+                 "sums", "n_total", "t_end", "chain", "slot", "stalled")
+
+    def __init__(self, d_tids, d_start, d_finish, d_dur, c_finish, sums,
+                 n_total, t_end, chain, stalled):
+        self.d_tids = d_tids
+        self.d_start = d_start      # non-decreasing (dispatch order)
+        self.d_finish = d_finish
+        self.d_dur = d_dur          # exec*slowdown + overhead, one float
+        self.c_finish = c_finish    # non-decreasing (completion order)
+        self.sums = sums            # (busy, instructions, overhead, max_conc)
+        self.n_total = n_total
+        self.t_end = t_end
+        #: dispatch-time genealogy of the last-finishing task: its own
+        #: dispatch time, then its dispatcher's, ... up to a root — the
+        #: simulated times at which the scalar engine would assign the seq
+        #: numbers that break completion-time ties (see _PlanArbiter)
+        self.chain = chain
+        self.slot = None            # engine handle of the pending plan event
+        self.stalled = stalled      # capacity 0 with work left
+
+
+class _PlanTemplate:
+    """Relative (t0-independent) single-worker schedule of a graph.
+
+    With one worker the dispatch order is a pure function of the graph and
+    the scheduling policy — no two in-flight finish times are ever compared
+    — so the order, the per-task durations and the stats sums can be reused
+    across runs; only the absolute times depend on the start time, rebuilt
+    by one float add per task.  The template keeps a strong reference to its
+    graph: identity (``is``) is the cache validity check, and the reference
+    also prevents ``id()`` reuse by a new graph object.
+    """
+
+    __slots__ = ("graph", "slowdown", "d_tids", "dur", "sums")
+
+    def __init__(self, graph, slowdown, d_tids, dur, sums):
+        self.graph = graph
+        self.slowdown = slowdown
+        self.d_tids = d_tids
+        self.dur = dur
+        self.sums = sums
+
+
+class _PlanArbiter:
+    """Gives same-cohort plan completions the scalar engine's tie order.
+
+    Events at equal simulated times fire in seq order, and the scalar
+    engine assigns a completion's seq at the *dispatch* of the finishing
+    task — inside the finish callback of the task that unblocked it, whose
+    own seq was assigned at *its* dispatch, and so on down to the root
+    dispatched synchronously in ``run()``.  Two teams finishing at the same
+    instant therefore order by the lexicographic comparison of those
+    dispatch-time chains, with ``run()``-call order as the final tie-break.
+
+    Plan mode collapses a graph to one completion event, so that genealogy
+    must be reproduced explicitly: teams submit their plans as they start,
+    a deferred flush (running after every submission of the current event
+    cohort) sorts them by ``(t_end, *chain)`` plus submission order, and
+    arms the completion events in that order — consecutive seqs, so
+    same-time completions fire exactly as the scalar engine would.  Ties
+    *across* cohorts resolve by cohort order, which matches the scalar
+    root-dispatch order for plans with identical chains (the only ties
+    observed in practice: lockstep ranks running identical graphs).
+    """
+
+    __slots__ = ("engine", "_pending", "planned_graphs", "planned_tasks",
+                 "plan_cache_hits", "plan_replans")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._pending: list = []
+        # plan-mode counters (surfaced through ``perf.instrument``); plain
+        # attributes because the hot path bumps them once per graph run
+        self.planned_graphs = 0
+        self.planned_tasks = 0
+        self.plan_cache_hits = 0
+        self.plan_replans = 0
+
+    def submit(self, team: "Team", plan: _Plan) -> None:
+        if not self._pending:
+            self.engine.defer(self._flush)
+        self._pending.append(((plan.t_end,) + plan.chain,
+                              len(self._pending), team, plan))
+
+    def _flush(self) -> None:
+        pending = self._pending
+        self._pending = []
+        pending.sort(key=lambda e: (e[0], e[1]))
+        for _key, _idx, team, plan in pending:
+            team._arm_plan(plan)
 
 
 class Team:
@@ -136,6 +240,24 @@ class Team:
                           and _perf_toggles.TOGGLES.scheduler_heap)
         self._heap: list = []
         self._seq = 0
+        # Plan mode (engine_batch): simulate the whole graph execution up
+        # front and schedule one completion event, instead of 2 DES events
+        # per task.  Engages per run() and only when nobody observes
+        # per-task execution (no recorder, no listener — see run()).
+        # Mid-run set_capacity/set_slowdown append a timestamped epoch and
+        # re-simulate the plan from the start — the already-executed prefix
+        # replays float-identically, so the revised plan agrees with
+        # history and the future reflects the change.
+        self._plan_enabled = _perf_toggles.TOGGLES.engine_batch
+        self._plan: Optional[_Plan] = None
+        self._plan_cache: dict[int, _PlanTemplate] = {}
+        self._slow_epochs: list[tuple[float, float]] = []
+        self._cap_epochs: list[tuple[float, int]] = []
+        if self._plan_enabled:
+            arb = getattr(engine, "_plan_arbiter", None)
+            if arb is None:
+                arb = engine._plan_arbiter = _PlanArbiter(engine)
+            self._arbiter: _PlanArbiter = arb
 
     # -- capacity (the DLB surface) -----------------------------------------
     @property
@@ -146,6 +268,11 @@ class Team:
     @property
     def active_workers(self) -> int:
         """Workers currently executing a task."""
+        if self._plan is not None:
+            now = self.engine.now
+            plan = self._plan
+            return (bisect_right(plan.d_start, now)
+                    - bisect_right(plan.c_finish, now))
         return self._active
 
     @property
@@ -156,14 +283,46 @@ class Team:
     @property
     def ready_count(self) -> int:
         """Tasks currently ready (waiting for a worker)."""
+        if self._plan is not None:
+            return self._plan_ready_count()
         if self._use_heap:
             return len(self._heap)
         return len(self._ready)
 
+    def _plan_ready_count(self) -> int:
+        """Ready-task count derived from the plan arrays (diagnostics)."""
+        plan = self._plan
+        graph = self._graph
+        now = self.engine.now
+        n = len(graph.tasks)
+        started = [False] * n
+        preds_done = [0] * n
+        for i, tid in enumerate(plan.d_tids):
+            if plan.d_start[i] > now:
+                break
+            started[tid] = True
+            if plan.d_finish[i] <= now:
+                for succ in graph.tasks[tid].successors:
+                    preds_done[succ] += 1
+        return sum(1 for tid, task in enumerate(graph.tasks)
+                   if not started[tid] and preds_done[tid] == task.n_preds)
+
     @property
     def wants_cores(self) -> bool:
         """Whether extra capacity would be used right now."""
-        if self._graph is None or self._active < self._max_workers:
+        if self._graph is None:
+            return False
+        if self._plan is not None:
+            # derived from the plan arrays; mutex-blocked backlog counts as
+            # appetite (diagnostic only — DLB runs the scalar path)
+            plan = self._plan
+            now = self.engine.now
+            started = bisect_right(plan.d_start, now)
+            active = started - bisect_right(plan.c_finish, now)
+            if active < self._max_workers:
+                return False
+            return (plan.n_total - started) > 0
+        if self._active < self._max_workers:
             return False
         held = self._held_refs
         if self._use_heap:
@@ -182,6 +341,17 @@ class Team:
         takes effect as running tasks complete."""
         if n < 0:
             raise RuntimeError_(f"capacity must be >= 0, got {n}")
+        if self._plan is not None:
+            # epoch lists are built lazily: the common unperturbed run never
+            # touches them, and the baseline (t0, value) entry records the
+            # value in force when the run started
+            if not self._cap_epochs:
+                self._cap_epochs.append((self._stats.t_start,
+                                         self._max_workers))
+            self._max_workers = n
+            self._cap_epochs.append((self.engine.now, n))
+            self._replan()
+            return
         grew = n > self._max_workers
         self._max_workers = n
         if grew and self._graph is not None:
@@ -193,6 +363,14 @@ class Team:
         already running finish at the speed they started with."""
         if factor <= 0:
             raise RuntimeError_(f"slowdown must be > 0, got {factor}")
+        if self._plan is not None:
+            if not self._slow_epochs:
+                self._slow_epochs.append((self._stats.t_start,
+                                          self.slowdown))
+            self.slowdown = factor
+            self._slow_epochs.append((self.engine.now, factor))
+            self._replan()
+            return
         self.slowdown = factor
 
     # -- execution ------------------------------------------------------------
@@ -207,6 +385,17 @@ class Team:
         if len(graph) == 0:
             stats.t_end = self.engine.now
             return stats
+        # engagement is re-checked per run: a recorder needs per-task
+        # records and a listener (DLB attaches itself after construction)
+        # needs task-boundary callbacks, so those runs take the scalar path
+        if (self._plan_enabled and self.recorder is None
+                and self.listener is None):
+            self._graph = graph
+            self._stats = stats
+            self._done = Event(self.engine)
+            self._plan_start(graph, stats)
+            result = yield self._done
+            return result
         self._graph = graph
         self._stats = stats
         self._remaining = len(graph.tasks)
@@ -216,11 +405,309 @@ class Team:
                 self._push_ready(task)
         else:
             self._ready.extend(graph.roots())
-        self._done = self.engine.event()
+        self._done = Event(self.engine)
         self._hungry_notified = False
         self._dispatch()
         result = yield self._done
         return result
+
+    # -- plan mode (engine_batch) ------------------------------------------
+    def _plan_start(self, graph: TaskGraph, stats: GraphStats) -> None:
+        """Materialize the whole run as a plan + one completion event."""
+        t0 = stats.t_start
+        arb = self._arbiter
+        arb.planned_graphs += 1
+        arb.planned_tasks += len(graph.tasks)
+        if self._max_workers == 1:
+            tpl = self._plan_cache.get(id(graph))
+            if (tpl is None or tpl.graph is not graph
+                    or tpl.slowdown != self.slowdown):
+                rel = self._plan_sim(graph, 0.0, [(0.0, self.slowdown)],
+                                     [(0.0, 1)])
+                tpl = _PlanTemplate(graph, self.slowdown, rel.d_tids,
+                                    rel.d_dur, rel.sums)
+                self._plan_cache[id(graph)] = tpl
+            else:
+                arb.plan_cache_hits += 1
+            self._install_plan(self._instantiate_template(tpl, t0, graph))
+        else:
+            self._install_plan(
+                self._plan_sim(graph, t0, [(t0, self.slowdown)],
+                               [(t0, self._max_workers)]))
+
+    def _instantiate_template(self, tpl: _PlanTemplate, t0: float,
+                              graph: TaskGraph) -> _Plan:
+        """Rebuild absolute times from a relative single-worker template.
+
+        One float add per task, in the exact expression order of the scalar
+        chain (``finish = start + dur``, next start = previous finish), so
+        the absolute times are bit-identical to a fresh simulation.
+        """
+        t = t0
+        d_start = []
+        d_finish = []
+        push_s = d_start.append
+        push_f = d_finish.append
+        for dur in tpl.dur:
+            push_s(t)
+            t = t + dur
+            push_f(t)
+        return _Plan(tpl.d_tids, d_start, d_finish, tpl.dur, d_finish,
+                     tpl.sums, len(graph.tasks), d_finish[-1],
+                     tuple(reversed(d_start)), False)
+
+    def _install_plan(self, plan: _Plan) -> None:
+        """Adopt a freshly simulated plan and queue it for arming.
+
+        Arming goes through the per-engine :class:`_PlanArbiter`, which
+        sorts every plan submitted in the current event cohort by the
+        scalar tie-break key before scheduling the completion events.
+        """
+        self._plan = plan
+        if plan.stalled:
+            return
+        self._arbiter.submit(self, plan)
+
+    def _arm_plan(self, plan: _Plan) -> None:
+        """Schedule the plan's completion (called by the arbiter's flush).
+
+        Completions armed by one flush in chain order receive consecutive
+        seq numbers, so same-time completions fire in the scalar tie-break
+        order (see :class:`_PlanArbiter`).
+        """
+        if plan is not self._plan:
+            return              # superseded by a replan before the flush
+        plan.slot = self.engine.schedule_fn_at(plan.t_end,
+                                               self._plan_complete)
+
+    def _replan(self) -> None:
+        """Re-simulate the active plan against the updated epoch lists.
+
+        The already-executed prefix depends only on epochs that precede the
+        perturbation, so it replays float-identically; tasks still in flight
+        keep their planned finish (their start predates the newest epoch and
+        ``slowdown_at(start)`` yields the speed they started with); tasks
+        starting from now on see the new capacity/slowdown.
+        """
+        plan = self._plan
+        if plan.slot is not None:
+            self.engine.cancel_scheduled(plan.slot)
+            plan.slot = None
+        self._arbiter.plan_replans += 1
+        t0 = self._stats.t_start
+        new = self._plan_sim(self._graph, t0,
+                             self._slow_epochs or [(t0, self.slowdown)],
+                             self._cap_epochs or [(t0, self._max_workers)])
+        self._plan = new
+        # a replan happens inside the perturbing call itself (set_capacity /
+        # set_slowdown), the same cascade position where the scalar engine
+        # reacts — arm directly, no cohort sort
+        if not new.stalled:
+            self._arm_plan(new)
+
+    def _plan_complete(self) -> None:
+        """Fires at the plan's end time: apply the precomputed stats sums
+        (accumulated in completion order — the scalar summation order) and
+        release the graph, exactly as `_finish_task` does for the last task."""
+        stats = self._stats
+        plan = self._plan
+        busy, instr, overhead, max_conc = plan.sums
+        stats.tasks_run = plan.n_total
+        stats.instructions = instr
+        stats.busy_seconds = busy
+        stats.overhead_seconds = overhead
+        stats.max_concurrency = max_conc
+        stats.t_end = self.engine.now
+        done = self._done
+        self._graph = None
+        self._stats = None
+        self._done = None
+        self._plan = None
+        if self._slow_epochs:
+            self._slow_epochs.clear()
+        if self._cap_epochs:
+            self._cap_epochs.clear()
+        done.succeed(stats)
+
+    def _plan_sim(self, graph: TaskGraph, t0: float,
+                  slow_epochs: list, cap_epochs: list) -> _Plan:
+        """Simulate one graph execution in plain Python, event-for-event
+        equivalent to the scalar engine's trajectory.
+
+        Replicates `_dispatch`/`_start_task`/`_finish_task` exactly: the
+        scheduling policy (LPT heap with FIFO tie-break / fifo / lifo),
+        mutex pop-aside, dispatch-while-capacity-remains after every
+        completion, cached task durations, and the float expression order
+        of start/finish arithmetic.  Time-varying capacity and slowdown
+        arrive as ``(time, value)`` epochs; an epoch at time T applies
+        before any completion at T, matching the scalar seq order (the
+        perturbing timeout was scheduled before the task started).
+        """
+        tasks = graph.tasks
+        n = len(tasks)
+        core = self.core
+        ovh = self.task_overhead_s
+        scheduler = self.scheduler
+        preds_left = [t.n_preds for t in tasks]
+        held: set = set()
+        # ready structures (seq = FIFO tie-break, matches _push_ready)
+        heap: list = []
+        fifo: deque = deque()
+        seqc = 0
+        if scheduler == "lpt":
+            for task in graph.roots():
+                seqc += 1
+                heapq.heappush(heap, (-task._instr, seqc, task.tid))
+        else:
+            fifo.extend(t.tid for t in graph.roots())
+
+        def pick() -> Optional[int]:
+            if scheduler == "lpt":
+                if not heap:
+                    return None
+                if not held:
+                    return heapq.heappop(heap)[2]
+                blocked = []
+                tid = None
+                while heap:
+                    entry = heapq.heappop(heap)
+                    if tasks[entry[2]].mutex_refs.isdisjoint(held):
+                        tid = entry[2]
+                        break
+                    blocked.append(entry)
+                for entry in blocked:
+                    heapq.heappush(heap, entry)
+                return tid
+            if scheduler == "fifo":
+                if not held:
+                    return fifo.popleft() if fifo else None
+                for i, tid in enumerate(fifo):
+                    if tasks[tid].mutex_refs.isdisjoint(held):
+                        del fifo[i]
+                        return tid
+                return None
+            # lifo
+            if not held:
+                return fifo.pop() if fifo else None
+            for i in range(len(fifo) - 1, -1, -1):
+                if tasks[fifo[i]].mutex_refs.isdisjoint(held):
+                    tid = fifo[i]
+                    del fifo[i]
+                    return tid
+            return None
+
+        slow = slow_epochs[0][1]
+        si = 1
+        n_slow = len(slow_epochs)
+        W = cap_epochs[0][1]
+        ei = 1
+        n_cap = len(cap_epochs)
+        t = t0
+        active = 0
+        fseq = 0
+        inflight: list = []         # (finish, fseq, tid, exec_seconds)
+        d_tids: list = []
+        d_start: list = []
+        d_finish: list = []
+        d_dur: list = []
+        c_finish: list = []
+        # d_parent[i]: dispatch index of the task whose completion dispatched
+        # task i (-1: dispatched at t0 or after an external capacity epoch) —
+        # the seq-assignment genealogy the scalar engine creates implicitly
+        d_parent: list = []
+        cur_parent = -1
+        last_di = -1
+        busy = 0.0
+        instr = 0.0
+        ovh_sum = 0.0
+        max_conc = 0
+        completed = 0
+        stalled = False
+        while True:
+            # epochs at time <= t apply before dispatch and completions at t
+            while ei < n_cap and cap_epochs[ei][0] <= t:
+                W = cap_epochs[ei][1]
+                ei += 1
+            while si < n_slow and slow_epochs[si][0] <= t:
+                slow = slow_epochs[si][1]
+                si += 1
+            while active < W:
+                tid = pick()
+                if tid is None:
+                    break
+                task = tasks[tid]
+                if task.mutex_refs:
+                    held |= task.mutex_refs
+                active += 1
+                if active > max_conc:
+                    max_conc = active
+                if task._dur_core is core:
+                    base = task._dur
+                else:
+                    base = core.seconds(task.work)
+                    task._dur = base
+                    task._dur_core = core
+                exec_seconds = base * slow
+                dur = exec_seconds + ovh
+                finish = t + dur
+                d_tids.append(tid)
+                d_start.append(t)
+                d_finish.append(finish)
+                d_dur.append(dur)
+                d_parent.append(cur_parent)
+                heapq.heappush(inflight, (finish, fseq, tid, exec_seconds))
+                fseq += 1
+            if completed == n:
+                break
+            next_ep = cap_epochs[ei][0] if ei < n_cap else None
+            if inflight and (next_ep is None or inflight[0][0] < next_ep):
+                finish, di, tid, exec_seconds = heapq.heappop(inflight)
+                t = finish
+                cur_parent = last_di = di
+                task = tasks[tid]
+                # stats accumulation order matches _finish_task
+                instr += task._instr
+                busy += exec_seconds
+                ovh_sum += ovh
+                if task.mutex_refs:
+                    held -= task.mutex_refs
+                active -= 1
+                completed += 1
+                c_finish.append(finish)
+                if scheduler == "lpt":
+                    for succ in task.successors:
+                        preds_left[succ] -= 1
+                        if preds_left[succ] == 0:
+                            seqc += 1
+                            heapq.heappush(
+                                heap, (-tasks[succ]._instr, seqc, succ))
+                else:
+                    for succ in task.successors:
+                        preds_left[succ] -= 1
+                        if preds_left[succ] == 0:
+                            fifo.append(succ)
+            elif next_ep is not None:
+                t = next_ep
+                cur_parent = -1
+            else:
+                # zero capacity with work left and no scheduled growth: the
+                # plan stalls here; a later set_capacity re-simulates with
+                # the new epoch and completes the schedule
+                stalled = True
+                break
+        t_end = c_finish[-1] if completed == n else 0.0
+        if last_di >= 0:
+            chain_l = []
+            idx = last_di
+            while idx >= 0:
+                chain_l.append(d_start[idx])
+                idx = d_parent[idx]
+            chain = tuple(chain_l)
+        else:
+            chain = (t0,)
+        return _Plan(d_tids, d_start, d_finish, d_dur, c_finish,
+                     (busy, instr, ovh_sum, max_conc), n, t_end, chain,
+                     stalled)
 
     # -- internals --------------------------------------------------------
     def _runnable_index(self) -> Optional[int]:

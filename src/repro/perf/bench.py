@@ -9,8 +9,9 @@ Usage::
 
     PYTHONPATH=src python -m repro.perf.bench                 # full run
     PYTHONPATH=src python -m repro.perf.bench --quick         # CI smoke
-    PYTHONPATH=src python -m repro.perf.bench --compare BENCH_pr3.json \
-        --baseline BENCH_pr2.json
+    PYTHONPATH=src python -m repro.perf.bench --compare BENCH_pr5.json \
+        --baseline auto
+    PYTHONPATH=src python -m repro.perf.bench --digest-check engine_batch
 
 ``--compare`` exits non-zero when any benchmark is more than
 ``SLOWDOWN_TOLERANCE`` times slower than the committed baseline report —
@@ -21,10 +22,18 @@ comparable (within the 2x gate) to a committed full-mode report.
 ``--baseline`` additionally gates the cross-PR *trajectory*: the current
 after-times are compared against the previous PR's committed report (its
 after-times are this PR's starting point) and the run fails if any
-``kernel`` benchmark regresses beyond host drift — the median kernel
-ratio between the two reports — times the noise floor (see
+``kernel`` or ``micro`` benchmark regresses beyond host drift — the
+median kernel ratio between the two reports — times the noise floor (see
 :func:`trajectory_check`).  The comparison, including the estimated
 drift factor, is recorded in the report's ``trajectory`` section.
+``--baseline auto`` resolves the newest committed ``BENCH_prN.json``
+below the current PR number — PRs that shipped no bench report (PR 6)
+simply don't break the chain.
+
+``--digest-check TOGGLE`` skips the timing suite entirely and runs the
+default end-to-end configuration twice — once with ``TOGGLE`` forced off,
+once with the current defaults — failing if the simulated digests differ:
+the per-push form of the wall-clock-only contract.
 
 Every end-to-end benchmark also records a digest of the simulated-time
 results under both toggle states: the report itself re-checks the PR's
@@ -34,16 +43,19 @@ bit-identicality contract.
 from __future__ import annotations
 
 import argparse
+import gc
+import glob
 import hashlib
 import json
 import os
 import platform
+import re
 import sys
 import time
 from typing import Callable, Optional
 
-__all__ = ["run_benchmarks", "trajectory_check", "main",
-           "SLOWDOWN_TOLERANCE"]
+__all__ = ["run_benchmarks", "trajectory_check", "resolve_auto_baseline",
+           "main", "SLOWDOWN_TOLERANCE"]
 
 #: --compare fails when current/baseline exceeds this per benchmark
 SLOWDOWN_TOLERANCE = 2.0
@@ -59,45 +71,116 @@ TRAJECTORY_NOISE_FLOOR = 0.9
 TRAJECTORY_QUICK_FLOOR = 0.85
 
 _SCHEMA = "repro-bench-v1"
-_DEFAULT_OUT = "BENCH_pr5.json"
+_DEFAULT_OUT = "BENCH_pr7.json"
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
-    """Smallest wall-clock of ``repeats`` calls (and the last result)."""
+    """Smallest wall-clock of ``repeats`` calls (and the last result).
+
+    The cyclic collector is paused around the timed calls (both toggle
+    states get the same treatment): on measurements in the 100 ms range a
+    generational pass over the cached workload structures costs several
+    percent and lands on random repeats, which is exactly the noise a
+    best-of protocol cannot average away.
+    """
     best = float("inf")
     result = None
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+    finally:
+        if was_enabled:
+            gc.enable()
     return best, result
 
 
 # -- workload pieces ---------------------------------------------------------
 
 def _engine_events_workload() -> int:
-    """DES micro-benchmark with the substrate's real event mix: mostly
-    already-triggered events posted at the current time (the now-queue
-    case — task/collective completions), plus periodic timeouts that
-    advance the clock through the heap."""
+    """DES micro-benchmark with the substrate's real event mix.
+
+    Two concurrent streams, matching what the engine actually dispatches in
+    a CFPD run: (a) the callback-based task runtime executing a stream of
+    small graphs on single-worker teams — the regime where the batched
+    engine's whole-graph plans and the (cached) plan templates collapse
+    per-task events into one completion per graph — and (b) lockstep
+    ``defer``/``call_later`` chains forming same-timestamp cohorts that the
+    scalar engine pays one heap operation per event for and the batched
+    engine retires as one calendar bucket.
+
+    Returns the *scalar-equivalent* event count via a second accounting:
+    ``eng.events_processed`` differs by design between the two engines
+    (the plan path schedules one event per graph), so the row reports the
+    before-side count as the workload size.
+    """
+    from ..core import Team, TaskGraph
+    from ..machine import CoreModel, WorkSpec
     from ..sim import Engine
 
+    core = CoreModel(name="bench", freq_ghz=1.0, base_ipc=1.0,
+                     out_of_order=True, atomic_stall_cycles=0.0,
+                     mem_stall_cycles=0.0)
     eng = Engine()
-    n_procs, n_rounds = 50, 200
+    graph = TaskGraph()
+    for _ in range(6):
+        graph.add_task(WorkSpec(1e3))
+    teams = [Team(eng, core, 1) for _ in range(16)]
 
-    def proc(i):
-        for r in range(n_rounds):
-            if r % 4 == 3:
-                yield eng.timeout(((i + r) % 7 + 1) * 1e-6)
+    def prog(team):
+        for _ in range(25):
+            yield from team.run(graph)
+
+    for team in teams:
+        eng.process(prog(team))
+
+    def tick(chain, r):
+        if r:
+            if r % 4:
+                eng.defer(tick, chain, r - 1)
             else:
-                ev = eng.event()
-                ev.succeed(r)
-                yield ev
+                eng.call_later(((r // 4) % 8 + 1) * 1e-6, tick, chain, r - 1)
 
-    for i in range(n_procs):
-        eng.process(proc(i))
+    for i in range(48):
+        eng.call_later(1e-6, tick, i, 100)
     eng.run()
     return eng.events_processed
+
+
+def _engine_events_manyrank_workload() -> float:
+    """Rank-heavy, kernel-light DES benchmark: 96 simulated MPI ranks
+    running a p2p ring exchange plus allreduce/barrier rounds with a token
+    compute phase.  Nearly all the wall time is engine dispatch and message
+    matching — the Amdahl remainder the batched core targets — so this row
+    gates the engine/comm stack at production rank counts without any
+    numerical kernels in the way."""
+    from ..machine import marenostrum4
+    from ..sim import Engine
+    from ..smpi import World
+
+    eng = Engine()
+    world = World(eng, marenostrum4(), 96, mapping="block")
+    n_rounds = 12
+
+    def program(comm):
+        total = 0.0
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        for r in range(n_rounds):
+            yield from comm.compute(5e-7)
+            req = comm.isend(float(comm.rank + r), dest=right, tag=r)
+            val = yield from comm.recv(source=left, tag=r)
+            yield from comm.wait(req)
+            total = yield from comm.allreduce(total + val)
+            yield from comm.barrier()
+        return total
+
+    results = world.run(world.launch(program))
+    return float(results[0])
 
 
 def _collectives_workload() -> float:
@@ -309,11 +392,21 @@ def _particles_workload() -> str:
     return digest.hexdigest()
 
 
-def _run_cfpd_digest(**config_kwargs) -> str:
-    """End-to-end run; digest covers every simulated-time result."""
+def _run_cfpd(**config_kwargs):
+    """End-to-end run returning the :class:`RunResult` (the timed part)."""
     from ..app.driver import RunConfig, run_cfpd
 
-    res = run_cfpd(RunConfig(**config_kwargs))
+    return run_cfpd(RunConfig(**config_kwargs))
+
+
+def _cfpd_digest(res) -> str:
+    """Digest of every simulated-time result of a run.
+
+    Kept out of the timed region (a ``post`` hook): hashing the ~5k phase
+    samples costs ~14 ms — noise on the scalar side but a double-digit
+    share of the batched end-to-end time, so timing it would understate
+    the engine speedup by harness cost alone.
+    """
     h = hashlib.sha256()
     for s in res.phase_log.samples:
         h.update(repr((s.step, s.rank, s.phase,
@@ -322,6 +415,11 @@ def _run_cfpd_digest(**config_kwargs) -> str:
     h.update(repr(res.deposition).encode())
     h.update(repr(res.solver_info).encode())
     return h.hexdigest()
+
+
+def _run_cfpd_digest(**config_kwargs) -> str:
+    """End-to-end run; digest covers every simulated-time result."""
+    return _cfpd_digest(_run_cfpd(**config_kwargs))
 
 
 def _campaign_bench_spec():
@@ -378,16 +476,33 @@ def _campaign_setup() -> None:
 def _benchmark_table(quick: bool) -> list[dict]:
     """(name, kind, callable, throughput units) rows for this mode."""
     table = [
+        # micro rows finish in milliseconds, so their relative timing noise
+        # is the largest in the table: they get a deeper best-of (still
+        # the cheapest rows by far) to land on the floor reliably
         {"name": "engine_events", "kind": "micro",
-         "fn": _engine_events_workload, "units": "events"},
+         "fn": _engine_events_workload, "units": "events", "warmup": True,
+         "repeats": 7, "min_speedup": 4.0,
+         "note": "units count is the before-side (scalar) event total: the "
+                 "batched engine retires the same workload through plans "
+                 "and cohorts, so its own events_processed is lower by "
+                 "design"},
+        {"name": "engine_events_manyrank", "kind": "micro",
+         "fn": _engine_events_manyrank_workload, "units": None,
+         "warmup": True, "repeats": 7, "min_speedup": 2.0,
+         "note": "96-rank p2p ring + allreduce/barrier, token compute: "
+                 "gates the engine/comm dispatch stack at production rank "
+                 "counts"},
         {"name": "collectives", "kind": "micro",
-         "fn": _collectives_workload, "units": None},
+         "fn": _collectives_workload, "units": None, "warmup": True,
+         "repeats": 7},
         {"name": "assembly", "kind": "kernel",
          "fn": _assembly_workload, "units": "elements", "warmup": True,
          "unit_count": lambda: 5 * _workload().mesh.nelem},
+        # after-side is a ~3 ms cached-copy path: deeper best-of for the
+        # same reason as the micro rows
         {"name": "assembly_constant", "kind": "kernel",
          "fn": _assembly_constant_workload, "units": "elements",
-         "warmup": True,
+         "warmup": True, "repeats": 7,
          "unit_count": lambda: 5 * _workload().mesh.nelem},
         {"name": "sgs", "kind": "kernel",
          "fn": _sgs_workload, "units": "elements", "warmup": True,
@@ -404,11 +519,15 @@ def _benchmark_table(quick: bool) -> list[dict]:
          "fn": _interpolation_workload, "units": "points", "warmup": True,
          "setup": _particle_preroll,
          "unit_count": lambda: 10 * 20 * _workload().n_particles},
+        # the 5x-gated rows keep a fixed best-of-5 in every mode: a single
+        # quick-mode repeat flaps around the gate on host noise alone
         {"name": "run_cfpd_sync", "kind": "end_to_end",
-         "fn": lambda: _run_cfpd_digest(), "units": None},
+         "fn": lambda: _run_cfpd(), "post": _cfpd_digest, "units": None,
+         "warmup": True, "repeats": 5, "min_speedup": 5.0},
         {"name": "run_cfpd_coupled", "kind": "end_to_end",
-         "fn": lambda: _run_cfpd_digest(mode="coupled", fluid_ranks=64),
-         "units": None},
+         "fn": lambda: _run_cfpd(mode="coupled", fluid_ranks=64),
+         "post": _cfpd_digest, "units": None, "warmup": True,
+         "repeats": 5, "min_speedup": 5.0},
         # before/after compare execution models (cold process per job vs
         # the warm 4-worker pool), not toggle states; the host has a
         # single CPU, so the gate measures amortized startup/precompute,
@@ -424,11 +543,12 @@ def _benchmark_table(quick: bool) -> list[dict]:
     if not quick:
         table += [
             {"name": "run_cfpd_sync_dlb", "kind": "end_to_end",
-             "fn": lambda: _run_cfpd_digest(dlb=True), "units": None},
-            {"name": "run_cfpd_coupled_dlb", "kind": "end_to_end",
-             "fn": lambda: _run_cfpd_digest(mode="coupled", fluid_ranks=64,
-                                            dlb=True),
+             "fn": lambda: _run_cfpd(dlb=True), "post": _cfpd_digest,
              "units": None},
+            {"name": "run_cfpd_coupled_dlb", "kind": "end_to_end",
+             "fn": lambda: _run_cfpd(mode="coupled", fluid_ranks=64,
+                                     dlb=True),
+             "post": _cfpd_digest, "units": None},
         ]
     return table
 
@@ -472,6 +592,10 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
         # repeat (full mode's best-of already lands on warm calls)
         warmup = row.get("warmup", False)
         row_repeats = row.get("repeats", repeats)
+        # "post" maps the timed callable's return value to the reported
+        # result (e.g. the simulated digest) *outside* the timed region —
+        # harness verification cost stays out of both sides' timings
+        post = row.get("post", lambda r: r)
         before_fn = row.get("before_fn")
         if before_fn is not None:
             # explicit before/after pair: an execution-model comparison
@@ -486,6 +610,8 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
             if warmup:
                 fn()
             after_s, after_res = _best_of(fn, row_repeats)
+        before_res = post(before_res)
+        after_res = post(after_res)
         entry = {
             "name": name,
             "kind": row["kind"],
@@ -498,9 +624,10 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
         if "note" in row:
             entry["note"] = row["note"]
         if row.get("units"):
-            # engine_events reports its own processed-event count; kernels
-            # declare their unit counts in the table
-            count = (float(after_res) if name == "engine_events"
+            # engine_events reports the scalar-side processed-event count
+            # (the batched engine retires the same workload in fewer
+            # dispatches); kernels declare their unit counts in the table
+            count = (float(before_res) if name == "engine_events"
                      else float(row["unit_count"]()))
             entry["throughput"] = {
                 "units": row["units"],
@@ -590,12 +717,14 @@ def trajectory_check(current: dict, reference: dict,
     Returns ``(trajectory, failures, host_drift)``: ``trajectory`` maps
     benchmark names to reference/current after-times plus the raw and
     drift-adjusted speedups between them, ``failures`` lists every
-    ``kernel`` benchmark whose adjusted speedup dropped below
-    ``min_ratio`` (i.e. this PR made a kernel slower than the committed
-    state it started from, beyond what the host explains), and
-    ``host_drift`` is the median factor (1.0 means the hosts matched).
-    Benchmarks missing from either report — e.g. rows introduced by this
-    PR — are skipped.
+    ``kernel`` or ``micro`` benchmark whose adjusted speedup dropped below
+    ``min_ratio`` (i.e. this PR made it slower than the committed state it
+    started from, beyond what the host explains), and ``host_drift`` is
+    the median factor (1.0 means the hosts matched).  The drift estimate
+    itself uses only ``kernel`` rows: micro rows are exactly what engine
+    PRs move by design, so including them would fold the improvement into
+    the drift and mask regressions elsewhere.  Benchmarks missing from
+    either report — e.g. rows introduced by this PR — are skipped.
     """
     ref_by_name = {b["name"]: b for b in reference.get("benchmarks", [])}
     shared = []
@@ -619,12 +748,59 @@ def trajectory_check(current: dict, reference: dict,
             "speedup_vs_reference": round(speedup, 3),
             "speedup_vs_reference_drift_adjusted": round(adjusted, 3),
         }
-        if b["kind"] == "kernel" and adjusted < min_ratio:
+        if b["kind"] in ("kernel", "micro") and adjusted < min_ratio:
             failures.append(
-                f"{b['name']}: drift-adjusted kernel speedup vs reference "
-                f"{adjusted:.3f}x < {min_ratio:.2f}x ({cur_s:.3f}s vs "
-                f"{ref_s:.3f}s, host drift {host_drift:.3f}x)")
+                f"{b['name']}: drift-adjusted {b['kind']} speedup vs "
+                f"reference {adjusted:.3f}x < {min_ratio:.2f}x "
+                f"({cur_s:.3f}s vs {ref_s:.3f}s, host drift "
+                f"{host_drift:.3f}x)")
     return trajectory, failures, host_drift
+
+
+def resolve_auto_baseline(out_path: str) -> Optional[str]:
+    """``--baseline auto``: the newest committed ``BENCH_prN.json`` with
+    ``N`` strictly below the output report's PR number.
+
+    Searches the output path's directory.  PR numbers need not be
+    consecutive — a PR that shipped no bench report (PR 6) leaves a gap
+    that resolution simply skips over.  An output name without a PR
+    number (e.g. CI's ``BENCH_smoke.json``) gates against the newest
+    committed report outright.  Returns ``None`` (caller skips the
+    trajectory gate with a notice) when no earlier report exists.
+    """
+    m = re.search(r"pr(\d+)", os.path.basename(out_path))
+    current = int(m.group(1)) if m else sys.maxsize
+    directory = os.path.dirname(out_path) or "."
+    best: tuple[int, str] | None = None
+    for path in glob.glob(os.path.join(directory, "BENCH_pr*.json")):
+        pm = re.match(r"BENCH_pr(\d+)\.json$", os.path.basename(path))
+        if pm is None:
+            continue
+        n = int(pm.group(1))
+        if n < current and (best is None or n > best[0]):
+            best = (n, path)
+    return best[1] if best else None
+
+
+def _digest_check(toggle: str) -> int:
+    """Run the default end-to-end config with ``toggle`` off vs on and
+    compare simulated digests — the quick per-push contract check."""
+    from .toggles import Toggles, configured
+
+    if toggle not in Toggles.__dataclass_fields__:
+        print(f"[bench] unknown toggle {toggle!r}; known: "
+              f"{', '.join(Toggles.__dataclass_fields__)}", file=sys.stderr)
+        return 2
+    with configured(**{toggle: False}):
+        d_off = _run_cfpd_digest()
+    d_on = _run_cfpd_digest()
+    if d_off != d_on:
+        print(f"[bench] FAIL: simulated digest depends on toggle "
+              f"{toggle} ({d_off[:16]}… off vs {d_on[:16]}… on)",
+              file=sys.stderr)
+        return 1
+    print(f"[bench] digest identical with {toggle} off/on ({d_on[:16]}…)")
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -646,9 +822,30 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--baseline", metavar="REFERENCE_JSON", default=None,
                         help="previous PR's committed report; records the "
                              "cross-PR trajectory in the output and fails "
-                             "(exit 1) if any kernel benchmark regresses "
-                             "below the drift-adjusted noise floor of it")
+                             "(exit 1) if any kernel or micro benchmark "
+                             "regresses below the drift-adjusted noise "
+                             "floor of it.  'auto' resolves the newest "
+                             "BENCH_prN.json below the output's PR number "
+                             "(gaps from report-less PRs are fine)")
+    parser.add_argument("--digest-check", metavar="TOGGLE", default=None,
+                        help="skip the timing suite; run the default "
+                             "end-to-end config with TOGGLE off vs on and "
+                             "fail (exit 1) if the simulated digests "
+                             "differ")
     args = parser.parse_args(argv)
+
+    if args.digest_check:
+        return _digest_check(args.digest_check)
+
+    if args.baseline == "auto":
+        resolved = resolve_auto_baseline(
+            args.out if args.out != "-" else _DEFAULT_OUT)
+        if resolved is None:
+            print("[bench] --baseline auto: no earlier BENCH_prN.json "
+                  "found; skipping the trajectory gate")
+        else:
+            print(f"[bench] --baseline auto -> {resolved}")
+        args.baseline = resolved
 
     trajectory_failures: list[str] = []
     report = run_benchmarks(quick=args.quick, repeats=args.repeats)

@@ -121,9 +121,50 @@ def engine_counters(engine) -> Dict[str, float]:
 
     Works on any object with the :class:`repro.sim.Engine` surface; the
     result feeds the events/sec throughput entries of the BENCH report.
+
+    On a batched engine (``engine_batch``), the snapshot additionally
+    carries the per-cohort instrumentation under ``"batch"``: cohort count
+    and size statistics (including a power-of-two size histogram), the
+    vectorized-vs-scalar dispatch split (arena-slot callbacks vs Event
+    objects), clock-jump statistics, the event arena's allocation counters,
+    and — when a :class:`~repro.core.runtime.Team` attached its plan
+    arbiter — the whole-graph plan counters.  Scalar engines return the
+    flat counters only.
     """
-    return {
+    out: Dict[str, float] = {
         "events_processed": engine.events_processed,
         "sim_now": engine.now,
         "alive_processes": engine.alive_process_count,
     }
+    if not getattr(engine, "_batch", False):
+        return out
+    n_cohorts = engine._n_cohorts
+    hist = {}
+    for i, count in enumerate(engine._cohort_hist):
+        if count:
+            lo = 1 << i
+            hi = (1 << (i + 1)) - 1
+            hist[f"{lo}" if lo == hi else f"{lo}-{hi}"] = count
+    batch: Dict[str, float] = {
+        "cohorts": n_cohorts,
+        "cohort_events": engine._cohort_events,
+        "max_cohort": engine._max_cohort,
+        "mean_cohort": (engine._cohort_events / n_cohorts
+                        if n_cohorts else 0.0),
+        "cohort_hist": hist,
+        "arena_fired": engine._n_arena_fired,
+        "event_objects": engine._n_event_dispatch,
+        "bulk_jumps": engine._n_jumps,
+        "jump_total_time": engine._jump_total,
+        "arena": engine.arena.counters(),
+    }
+    arbiter = getattr(engine, "_plan_arbiter", None)
+    if arbiter is not None:
+        batch["plans"] = {
+            "planned_graphs": arbiter.planned_graphs,
+            "planned_tasks": arbiter.planned_tasks,
+            "plan_cache_hits": arbiter.plan_cache_hits,
+            "plan_replans": arbiter.plan_replans,
+        }
+    out["batch"] = batch
+    return out

@@ -86,6 +86,15 @@ class Toggles:
     #: boundary math, and reuse of the boundary-pass locate result for the
     #: next step's velocity evaluation (identical inputs, identical output).
     particle_fused_step: bool = True
+    #: ``sim.engine`` / ``core.runtime`` / ``smpi.comm``: batched event-cohort
+    #: core — a calendar of per-timestamp event buckets with bulk clock
+    #: advance, a free-list event arena for deferred callbacks
+    #: (``defer``/``call_later`` allocate an arena slot instead of an
+    #: ``Event``), whole-graph execution plans in ``Team`` (one completion
+    #: event per graph instead of per task), and keyed message matching in
+    #: ``World``.  Preserves the exact (when, seq) FIFO tie-break order of
+    #: the scalar engine.
+    engine_batch: bool = True
 
 
 #: process-wide current toggle state

@@ -20,6 +20,7 @@ from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..perf import toggles as _perf_toggles
+from .arena import KIND_COMPLETION, KIND_DEFER, KIND_TIMER, PENDING, EventArena
 
 __all__ = [
     "Engine",
@@ -87,7 +88,12 @@ class Event:
         self._triggered = True
         self._ok = True
         self._value = value
-        self.engine._post(self)
+        # inlined Engine._post — this is the hottest trigger path
+        eng = self.engine
+        if eng._fast or eng._batch:
+            eng._now_queue.append((next(eng._seq), self))
+        else:
+            heapq.heappush(eng._queue, (eng.now, next(eng._seq), self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -293,8 +299,38 @@ class Engine:
         # (time, seq) order is preserved (the queue is compared against the
         # heap head by seq) while the common case — an event triggered at the
         # current time — skips the heap sift entirely.
-        self._now_queue: deque[tuple[int, Event]] = deque()
+        self._now_queue: deque[tuple[int, Any]] = deque()
         self._fast = _perf_toggles.TOGGLES.engine_fast_path
+        #: scratch counters other layers may bump (e.g. Team plan counters);
+        #: surfaced by ``repro.perf.instrument.engine_counters``.
+        self.ext_counters: dict[str, int] = {}
+        # Batched event-cohort core (engine_batch): instead of one global
+        # heap of (when, seq, event) entries, keep a calendar of per-timestamp
+        # *buckets* plus a heap of the distinct populated times.  The run
+        # loop drains the cohort at the current timestamp (merged against the
+        # now-queue by seq) and then jumps the clock directly to the next
+        # populated time — one heap operation per *timestamp* instead of one
+        # per event.  Deferred callbacks live in a recycled EventArena slot
+        # instead of an Event object; queue payloads are either an int
+        # (arena slot) or an Event, distinguished by type at dispatch.
+        self._batch = _perf_toggles.TOGGLES.engine_batch
+        if self._batch:
+            self.arena = EventArena()
+            self._buckets: dict[float, list] = {}
+            self._times: list[float] = []
+            # cohort at the current timestamp + its drain cursor; same-time
+            # schedules append here (monotonic seqs keep it sorted)
+            self._cur: list = []
+            self._ci = 0
+            # cohort instrumentation (see instrument.engine_counters)
+            self._n_cohorts = 0
+            self._cohort_events = 0
+            self._max_cohort = 0
+            self._cohort_hist = [0] * 16  # power-of-two size bins
+            self._n_jumps = 0
+            self._jump_total = 0.0
+            self._n_arena_fired = 0
+            self._n_event_dispatch = 0
 
     # -- factory helpers ----------------------------------------------------
     def event(self) -> Event:
@@ -320,15 +356,38 @@ class Engine:
         """Composite event triggering at the first of ``events``."""
         return AnyOf(self, events)
 
-    def defer(self, fn: Callable[..., None], *args: Any) -> Event:
+    def defer(self, fn: Callable[..., None], *args: Any):
         """Run ``fn(*args)`` when the engine next reaches the current time.
 
         Equivalent to a :class:`Process` whose generator would execute
         ``fn`` before its first yield (the bootstrap event is posted at the
         same queue position), without the generator/Process allocation.
         The callback-based task runtime and collective completion are built
-        on this.
+        on this.  Returns an opaque handle (an arena slot under
+        ``engine_batch``, an :class:`Event` otherwise); callers that need
+        cancellation use :meth:`cancel_scheduled`.
         """
+        if self._batch:
+            # the hot path allocates no object at all: the callback rides in
+            # a recycled arena slot, the queue entry is (seq, slot).  The
+            # arena free-list claim is inlined (see EventArena.alloc) — this
+            # and call_later together run ~15k times per CFPD run.
+            seq = next(self._seq)
+            arena = self.arena
+            free = arena._free
+            if free:
+                slot = free.pop()
+                arena._fn[slot] = fn
+                arena._args[slot] = args
+                arena._when[slot] = self.now
+                arena._seq[slot] = seq
+                arena._kind[slot] = KIND_DEFER
+                arena._state[slot] = 1
+            else:
+                slot = arena._grow(self.now, seq, fn, args, KIND_DEFER)
+            arena.allocated += 1
+            self._now_queue.append((seq, slot))
+            return slot
         # inlined Event(self) + ev.succeed() minus the already-triggered
         # guard (the event is freshly constructed): this runs ~50k times
         # per CFPD run.  fn/args ride in the _defer slot so the run loop
@@ -345,14 +404,43 @@ class Engine:
         return ev
 
     def call_later(self, delay: float, fn: Callable[..., None],
-                   *args: Any) -> Event:
+                   *args: Any):
         """Run ``fn(*args)`` after ``delay`` simulated time.
 
         Equivalent to a :class:`Timeout` with ``fn`` as its only callback —
-        same heap entry, same seq — without the Timeout construction or the
+        same queue entry, same seq — without the Timeout construction or the
         callback closure.  Used by the callback-based task runtime for the
-        per-task execution delay.
+        per-task execution delay.  Returns an opaque handle (see
+        :meth:`defer`).
         """
+        if self._batch:
+            when = self.now + delay
+            seq = next(self._seq)
+            # inlined arena alloc + bucket insert (hot: one call per message
+            # delivery, collective completion and plan timer)
+            arena = self.arena
+            free = arena._free
+            if free:
+                slot = free.pop()
+                arena._fn[slot] = fn
+                arena._args[slot] = args
+                arena._when[slot] = when
+                arena._seq[slot] = seq
+                arena._kind[slot] = KIND_TIMER
+                arena._state[slot] = 1
+            else:
+                slot = arena._grow(when, seq, fn, args, KIND_TIMER)
+            arena.allocated += 1
+            if when == self.now:
+                self._cur.append((seq, slot))
+            else:
+                b = self._buckets.get(when)
+                if b is None:
+                    self._buckets[when] = [(seq, slot)]
+                    heapq.heappush(self._times, when)
+                else:
+                    b.append((seq, slot))
+            return slot
         ev = Event.__new__(Event)
         ev.engine = self
         ev.callbacks = []
@@ -364,13 +452,73 @@ class Engine:
         heapq.heappush(self._queue, (self.now + delay, next(self._seq), ev))
         return ev
 
+    def schedule_fn_at(self, when: float, fn: Callable[..., None],
+                       *args: Any):
+        """Run ``fn(*args)`` at the *absolute* simulated time ``when``.
+
+        Unlike ``call_later(when - now, ...)`` — which schedules at
+        ``now + (when - now)``, a float that can differ from ``when`` in the
+        last ulp — the deadline is the exact float given, so precomputed
+        execution plans (Team plan mode) land their completion events on
+        bit-exact timestamps.  Returns a handle for :meth:`cancel_scheduled`.
+        """
+        if when < self.now:
+            raise SimulationError(f"cannot schedule into the past "
+                                  f"({when} < {self.now})")
+        if self._batch:
+            seq = next(self._seq)
+            slot = self.arena.alloc(when, seq, fn, args, KIND_COMPLETION)
+            self._bucket_insert(when, seq, slot)
+            return slot
+        ev = Event.__new__(Event)
+        ev.engine = self
+        ev.callbacks = []
+        ev._triggered = False
+        ev._processed = False
+        ev._ok = None
+        ev._value = None
+        ev._defer = (fn, args)
+        heapq.heappush(self._queue, (when, next(self._seq), ev))
+        return ev
+
+    def cancel_scheduled(self, handle) -> None:
+        """Cancel a pending :meth:`call_later`/:meth:`schedule_fn_at` call.
+
+        The queue entry stays where it is and is skipped (and its arena slot
+        recycled) when it surfaces; the callback is guaranteed not to run.
+        """
+        if self._batch:
+            self.arena.cancel(handle)
+        else:
+            handle._defer = None
+
     # -- scheduling (internal) ----------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
-        heapq.heappush(self._queue, (when, next(self._seq), event))
+        if self._batch:
+            self._bucket_insert(when, next(self._seq), event)
+        else:
+            heapq.heappush(self._queue, (when, next(self._seq), event))
+
+    def _bucket_insert(self, when: float, seq: int, payload) -> None:
+        """File a (seq, payload) entry under its timestamp's bucket.
+
+        An entry at the *current* time joins the live cohort directly —
+        monotonic seqs keep the cohort list sorted, and the run loop's merge
+        against the now-queue preserves the global (when, seq) order.
+        """
+        if when == self.now:
+            self._cur.append((seq, payload))
+            return
+        b = self._buckets.get(when)
+        if b is None:
+            self._buckets[when] = [(seq, payload)]
+            heapq.heappush(self._times, when)
+        else:
+            b.append((seq, payload))
 
     def _post(self, event: Event) -> None:
         """Schedule a just-triggered event's callbacks at the current time."""
-        if self._fast:
+        if self._fast or self._batch:
             self._now_queue.append((next(self._seq), event))
         else:
             heapq.heappush(self._queue, (self.now, next(self._seq), event))
@@ -409,6 +557,9 @@ class Engine:
         queue while processes are still alive means every one of them is
         blocked on an event nobody will trigger (a deadlock).
         """
+        if self._batch:
+            self._step_batch()
+            return
         event = self._pop()
         if not event._triggered:
             # A Timeout reaching its deadline: apply the trigger state now.
@@ -434,6 +585,9 @@ class Engine:
         """
         if until is not None and until < self.now:
             raise SimulationError("cannot run into the past")
+        if self._batch:
+            self._run_batch(until)
+            return
         nq = self._now_queue
         q = self._queue
         heappop = heapq.heappop
@@ -482,6 +636,211 @@ class Engine:
             self._n_events_processed += n_done
         if until is not None:
             self.now = until
+
+    def _run_batch(self, until: Optional[float]) -> None:
+        """Cohort-batched run loop (``engine_batch``).
+
+        Per *timestamp* (not per event): pop the next populated time off the
+        ``_times`` heap, take its whole bucket as the current cohort, and
+        drain it merged against the now-queue by seq — reproducing the exact
+        total (when, seq) order of the scalar engine's single heap while
+        paying one heap operation per distinct timestamp.  Times whose
+        bucket was already consumed (re-pushed while the clock sat on them)
+        are skipped lazily.
+        """
+        nq = self._now_queue
+        buckets = self._buckets
+        times = self._times
+        arena = self.arena
+        a_state = arena._state
+        a_fn = arena._fn
+        a_args = arena._args
+        a_free = arena._free
+        heappop = heapq.heappop
+        cur = self._cur
+        ci = self._ci
+        n_done = 0
+        n_arena = 0
+        n_events = 0
+        try:
+            while True:
+                if self._stop_reason is not None:
+                    return
+                if nq:
+                    if ci < len(cur) and cur[ci][0] < nq[0][0]:
+                        payload = cur[ci][1]
+                        ci += 1
+                    else:
+                        payload = nq.popleft()[1]
+                elif ci < len(cur):
+                    payload = cur[ci][1]
+                    ci += 1
+                else:
+                    # timestamp fully drained: bulk-advance the clock to the
+                    # next populated time
+                    while times:
+                        when = heappop(times)
+                        bucket = buckets.pop(when, None)
+                        if bucket is not None:
+                            break
+                    else:
+                        if until is not None:
+                            self.now = until
+                        return
+                    if until is not None and when > until:
+                        buckets[when] = bucket
+                        heapq.heappush(times, when)
+                        self.now = until
+                        return
+                    if when < self.now:
+                        raise SimulationError("time went backwards")
+                    for _, p in bucket:
+                        if type(p) is not int or a_state[p] != 2:
+                            break
+                    else:
+                        # only cancelled slots: recycle them without moving
+                        # the clock (a cancelled tail entry must not drag
+                        # the simulation end time forward)
+                        for _, p in bucket:
+                            a_state[p] = 0
+                            a_free.append(p)
+                        continue
+                    n = len(bucket)
+                    self._n_cohorts += 1
+                    self._cohort_events += n
+                    if n > self._max_cohort:
+                        self._max_cohort = n
+                    self._cohort_hist[min(n.bit_length() - 1, 15)] += 1
+                    self._n_jumps += 1
+                    self._jump_total += when - self.now
+                    self.now = when
+                    cur = bucket
+                    ci = 0
+                    # visible before callbacks run: same-time schedules made
+                    # during dispatch append to this cohort
+                    self._cur = cur
+                    continue
+                if type(payload) is int:
+                    # arena slot: free it, then invoke unless cancelled
+                    st = a_state[payload]
+                    a_state[payload] = 0
+                    fn = a_fn[payload]
+                    args = a_args[payload]
+                    a_fn[payload] = None
+                    a_args[payload] = None
+                    a_free.append(payload)
+                    if st == 1:  # PENDING
+                        n_done += 1
+                        n_arena += 1
+                        fn(*args)
+                    continue
+                event = payload
+                if not event._triggered:
+                    event._triggered = True
+                    event._ok = True
+                n_done += 1
+                n_events += 1
+                event._processed = True
+                d = event._defer
+                if d is not None:
+                    event._defer = None
+                    d[0](*d[1])
+                callbacks = event.callbacks
+                if callbacks:
+                    event.callbacks = []
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+        finally:
+            self._ci = ci
+            self._n_events_processed += n_done
+            self._n_arena_fired += n_arena
+            self._n_event_dispatch += n_events
+
+    def _step_batch(self) -> None:
+        """Process a single event under ``engine_batch`` (see :meth:`step`).
+
+        Cancelled arena slots are recycled and skipped — they do not count
+        as a processed event (the scalar engine never queues them).
+        """
+        nq = self._now_queue
+        while True:
+            cur = self._cur
+            ci = self._ci
+            if nq:
+                if ci < len(cur) and cur[ci][0] < nq[0][0]:
+                    payload = cur[ci][1]
+                    self._ci = ci + 1
+                else:
+                    payload = nq.popleft()[1]
+            elif ci < len(cur):
+                payload = cur[ci][1]
+                self._ci = ci + 1
+            else:
+                while self._times:
+                    when = heapq.heappop(self._times)
+                    bucket = self._buckets.pop(when, None)
+                    if bucket is not None:
+                        break
+                else:
+                    raise SimulationError(
+                        f"no events scheduled ({self.alive_process_count} "
+                        f"processes still alive at t={self.now:.6f}s)")
+                if when < self.now:
+                    raise SimulationError("time went backwards")
+                states = self.arena._state
+                for _, p in bucket:
+                    if type(p) is not int or states[p] != 2:
+                        break
+                else:
+                    for _, p in bucket:
+                        states[p] = 0
+                        self.arena._free.append(p)
+                    continue
+                n = len(bucket)
+                self._n_cohorts += 1
+                self._cohort_events += n
+                if n > self._max_cohort:
+                    self._max_cohort = n
+                self._cohort_hist[min(n.bit_length() - 1, 15)] += 1
+                self._n_jumps += 1
+                self._jump_total += when - self.now
+                self.now = when
+                self._cur = bucket
+                self._ci = 0
+                continue
+            arena = self.arena
+            if type(payload) is int:
+                st = arena._state[payload]
+                arena._state[payload] = 0
+                fn = arena._fn[payload]
+                args = arena._args[payload]
+                arena._fn[payload] = None
+                arena._args[payload] = None
+                arena._free.append(payload)
+                if st == PENDING:
+                    self._n_events_processed += 1
+                    self._n_arena_fired += 1
+                    fn(*args)
+                    return
+                continue  # cancelled slot: recycle and keep looking
+            event = payload
+            if not event._triggered:
+                event._triggered = True
+                event._ok = True
+            self._n_events_processed += 1
+            self._n_event_dispatch += 1
+            event._processed = True
+            d = event._defer
+            if d is not None:
+                event._defer = None
+                d[0](*d[1])
+            callbacks, event.callbacks = event.callbacks, []
+            for cb in callbacks:
+                cb(event)
+            return
 
     def stop(self, reason: str = "") -> None:
         """Abort :meth:`run` before the queue drains (simulated job kill).

@@ -21,8 +21,8 @@ sub-communicators, used by the coupled fluid/particle execution mode.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Optional, Sequence
+from collections import deque
+from typing import Any, Callable, Iterable, NamedTuple, Optional, Sequence
 
 from ..machine import ClusterModel, rank_to_node
 from ..perf import toggles as _perf_toggles
@@ -87,9 +87,13 @@ class JobKilledError(MPIError):
         self.time = time
 
 
-@dataclass(frozen=True)
-class Message:
-    """An in-flight point-to-point message (world-rank addressed)."""
+class Message(NamedTuple):
+    """An in-flight point-to-point message (world-rank addressed).
+
+    A named tuple rather than a frozen dataclass: one is built per simulated
+    point-to-point send (~6k per CFPD run) and tuple construction skips the
+    per-field ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     src: int
     dest: int
@@ -109,6 +113,123 @@ def _payload_nbytes(payload: Any, nbytes: Optional[float]) -> float:
     return 64.0
 
 
+class _KeyedMailbox:
+    """Message queue with O(1) keyed matching (``engine_batch`` fast path).
+
+    Observationally identical to a :class:`~repro.sim.Store` holding
+    :class:`Message` items matched by (comm_id, src, tag) predicates: puts
+    wake the oldest compatible getter, gets take the oldest compatible
+    message.  The difference is purely mechanical — a fully-specified
+    receive pops the head of a per-key deque instead of running a predicate
+    closure down the arrival queue, and only wildcard receives still scan.
+
+    A message taken through one index stays in the other as a tombstone
+    (``rec[1] is True``); tombstones are skipped lazily and squeezed out
+    when they outnumber live messages.
+    """
+
+    __slots__ = ("engine", "_order", "_by_key", "_getters", "_live")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        #: arrival-ordered ``[msg, taken]`` records (wildcard scan order)
+        self._order: deque = deque()
+        #: (comm_id, src, tag) -> deque of records from ``_order``
+        self._by_key: dict[tuple[int, int, int], deque] = {}
+        #: blocked receivers: (event, comm_id, source, tag, meta)
+        self._getters: deque = deque()
+        #: records in ``_order`` that are not tombstones
+        self._live = 0
+
+    def put(self, msg: Message) -> None:
+        """Deliver to the oldest compatible blocked getter, else enqueue."""
+        getters = self._getters
+        for i, g in enumerate(getters):
+            if (g[1] == msg.comm_id
+                    and (g[2] == ANY_SOURCE or g[2] == msg.src)
+                    and (g[3] == ANY_TAG or g[3] == msg.tag)):
+                del getters[i]
+                g[0].succeed(msg)
+                return
+        rec = [msg, False]
+        self._order.append(rec)
+        self._live += 1
+        key = (msg.comm_id, msg.src, msg.tag)
+        kq = self._by_key.get(key)
+        if kq is None:
+            kq = self._by_key[key] = deque()
+        kq.append(rec)
+
+    def get_keyed(self, comm_id: int, source: int, tag: int,
+                  meta: Any) -> Event:
+        """Take the oldest message matching the receive, or block.
+
+        ``source``/``tag`` may be the ``ANY_*`` wildcards; a fully keyed
+        receive resolves without touching the arrival queue.
+        """
+        ev = Event(self.engine)
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            kq = self._by_key.get((comm_id, source, tag))
+            while kq:
+                rec = kq.popleft()
+                if not rec[1]:
+                    rec[1] = True
+                    self._live -= 1
+                    self._maybe_compact()
+                    ev.succeed(rec[0])
+                    return ev
+        else:
+            for rec in self._order:
+                if rec[1]:
+                    continue
+                msg = rec[0]
+                if (msg.comm_id == comm_id
+                        and (source == ANY_SOURCE or msg.src == source)
+                        and (tag == ANY_TAG or msg.tag == tag)):
+                    rec[1] = True
+                    self._live -= 1
+                    self._maybe_compact()
+                    ev.succeed(msg)
+                    return ev
+        self._getters.append((ev, comm_id, source, tag, meta))
+        return ev
+
+    def _maybe_compact(self) -> None:
+        order = self._order
+        if len(order) > 64 and len(order) > 2 * self._live:
+            self._order = order = deque(r for r in order if not r[1])
+            by_key: dict[tuple[int, int, int], deque] = {}
+            for rec in order:
+                msg = rec[0]
+                key = (msg.comm_id, msg.src, msg.tag)
+                kq = by_key.get(key)
+                if kq is None:
+                    kq = by_key[key] = deque()
+                kq.append(rec)
+            self._by_key = by_key
+
+    def fail_pending(self, match: Callable[[Any], bool],
+                     exc: BaseException) -> int:
+        """Fail every blocked getter whose meta matches; returns the count."""
+        kept: deque = deque()
+        failed = 0
+        for g in self._getters:
+            if match(g[4]):
+                g[0].fail(exc)
+                failed += 1
+            else:
+                kept.append(g)
+        self._getters = kept
+        return failed
+
+    def peek_all(self) -> list[Message]:
+        """Undelivered messages in arrival order (inspection only)."""
+        return [rec[0] for rec in self._order if not rec[1]]
+
+    def __len__(self) -> int:
+        return self._live
+
+
 class _Collective:
     """State of one in-flight collective operation (one per call site)."""
 
@@ -120,7 +241,7 @@ class _Collective:
         self.n = n
         self.group = tuple(group)     # world ranks of the communicator
         self.contribs: dict[int, Any] = {}
-        self.done: Event = engine.event()
+        self.done: Event = Event(engine)
         self.nbytes_total = 0.0
 
 
@@ -142,6 +263,10 @@ class Comm:
         # (the no-failure case) the sorted local-rank sequence is just
         # 0..size-1, so the per-call ``sorted(contribs)`` is skipped.
         self._rank_order = tuple(range(len(self.group)))
+        #: (dest_world, nbytes) -> seconds; see _isend_start
+        self._delay_cache: dict[tuple[int, float], float] = {}
+        #: cached key into World._coll_seq (see _collective)
+        self._seq_key = (comm_id, self.world_rank)
 
     # -- introspection ------------------------------------------------------
     @property
@@ -182,7 +307,7 @@ class Comm:
 
     def _blocking(self, call: str, observed: bool = True):
         world = self._world
-        if observed:
+        if observed and world.hooks._hooks:
             world.hooks.enter(self.world_rank, call)
         t0 = world.engine.now
         world.pending_calls[self.world_rank] = (call, t0)
@@ -191,9 +316,13 @@ class Comm:
     def _unblock(self, call: str, t0: float, observed: bool = True) -> None:
         world = self._world
         world.pending_calls.pop(self.world_rank, None)
-        if observed:
+        if observed and world.hooks._hooks:
             world.hooks.exit(self.world_rank, call)
-        world.account_mpi(self.world_rank, call, t0, world.engine.now)
+        # inlined World.account_mpi (two calls per blocking MPI operation)
+        world.mpi_seconds[self.world_rank] += world.engine.now - t0
+        if world.recorder is not None:
+            world.recorder.record(self.world_rank, "mpi", call, t0,
+                                  world.engine.now)
 
     # -- point to point -------------------------------------------------------
     def send(self, payload: Any, dest: int, tag: int = 0,
@@ -218,7 +347,7 @@ class Comm:
             # Process bootstrap would be and the delivery timeout is created
             # when it pops, so the event trajectory matches the generator
             # path below; ``req`` stands in for the Process request handle.
-            req = world.engine.event()
+            req = Event(world.engine)
             world.engine.defer(self._isend_start, payload, dest, tag,
                                nbytes, req)
             return req
@@ -229,24 +358,42 @@ class Comm:
     def _isend_start(self, payload: Any, dest: int, tag: int,
                      nbytes: Optional[float], req: Event) -> None:
         world = self._world
-        size = _payload_nbytes(payload, nbytes)
+        size = (float(nbytes) if nbytes is not None
+                else _payload_nbytes(payload, None))
         dest_world = self.group[dest]
-        delay = world.cluster.message_seconds(
-            world.node_of(self.world_rank), world.node_of(dest_world), size)
+        if world._batch:
+            # message cost is a pure function of (placement, size), and halo
+            # exchanges repeat identical (peer, size) pairs every step
+            dc = self._delay_cache
+            delay = dc.get((dest_world, size))
+            if delay is None:
+                delay = world.cluster.message_seconds(
+                    world.node_of(self.world_rank),
+                    world.node_of(dest_world), size)
+                dc[(dest_world, size)] = delay
+        else:
+            delay = world.cluster.message_seconds(
+                world.node_of(self.world_rank), world.node_of(dest_world),
+                size)
         dropped = False
         if world.fault_controller is not None:
             dropped, extra = world.fault_controller.on_message(
                 self.world_rank, dest_world, size)
             delay += extra
+        if dropped:
+            world.engine.call_later(delay, req.succeed, None)
+            return
+        # The Message is immutable, so building it at send time instead of
+        # inside a delivery closure is observationally identical — and the
+        # call_later rides fn/args slots, allocating no closure frame.
+        msg = Message(self.rank, dest, tag, self.comm_id, payload, size)
+        world.engine.call_later(delay, self._finish_isend, msg, dest_world,
+                                req)
 
-        def _deliver() -> None:
-            if not dropped:
-                world.deliver(Message(src=self.rank, dest=dest, tag=tag,
-                                      comm_id=self.comm_id, payload=payload,
-                                      nbytes=size), dest_world)
-            req.succeed(None)
-
-        world.engine.call_later(delay, _deliver)
+    def _finish_isend(self, msg: Message, dest_world: int,
+                      req: Event) -> None:
+        self._world.deliver(msg, dest_world)
+        req.succeed(None)
 
     def _transfer(self, payload: Any, dest: int, tag: int,
                   nbytes: Optional[float]):
@@ -301,13 +448,17 @@ class Comm:
                 src_world, f"receive posted for dead rank {src_world}"))
             return ev
 
+        meta = None if source == ANY_SOURCE else {"src": self.group[source]}
+        box = world.mailbox(self.world_rank)
+        if world._batch:
+            return box.get_keyed(self.comm_id, source, tag, meta)
+
         def predicate(msg: Message) -> bool:
             return (msg.comm_id == self.comm_id
                     and (source == ANY_SOURCE or msg.src == source)
                     and (tag == ANY_TAG or msg.tag == tag))
 
-        meta = None if source == ANY_SOURCE else {"src": self.group[source]}
-        return world.mailbox(self.world_rank).get(predicate, meta=meta)
+        return box.get(predicate, meta=meta)
 
     def wait(self, event: Event):
         """Blocking wait on a request event (isend/irecv), with PMPI hooks."""
@@ -338,7 +489,13 @@ class Comm:
         hides the call from PMPI hooks (still timed and deadlock-tracked).
         """
         world = self._world
-        seq = world.next_collective_seq(self.comm_id, self.world_rank)
+        # inlined World.next_collective_seq with the (comm_id, world_rank)
+        # key tuple cached on the communicator (one collective call per rank
+        # per phase — ~10k per CFPD run)
+        ck = self._seq_key
+        cs = world._coll_seq
+        seq = cs.get(ck, 0)
+        cs[ck] = seq + 1
         key = (self.comm_id, seq)
         coll = world.collectives.get(key)
         if coll is None:
@@ -350,7 +507,8 @@ class Comm:
                 f"{self.rank} called {kind!r} but operation #{seq} is "
                 f"{coll.kind!r}")
         coll.contribs[self.rank] = contribution
-        coll.nbytes_total += _payload_nbytes(contribution, nbytes)
+        coll.nbytes_total += (float(nbytes) if nbytes is not None
+                              else _payload_nbytes(contribution, None))
         t0 = self._blocking(kind, observed)
         world.maybe_finish_collective(key)
         try:
@@ -417,6 +575,30 @@ class Comm:
         contributions (collectives shrink, ULFM-style).
         """
         contribs = yield from self._collective("allreduce", value, nbytes)
+        world = self._world
+        if world._batch:
+            # every member computes the identical reduction over the shared
+            # contribution dict — compute it once per (collective, op) and
+            # share the result when it is immutable (n ranks x n terms
+            # otherwise).  The cache entry pins the contribs dict, so an
+            # id() hit is guaranteed to be the same collective.
+            cache = world._reduce_cache
+            entry = cache.get(id(contribs))
+            if entry is not None and entry[0] is contribs:
+                by_op = entry[1]
+                hit = by_op.get(id(op), _REDUCE_MISS)
+                if hit is not _REDUCE_MISS:
+                    return hit
+            else:
+                if len(cache) > 16:
+                    cache.clear()
+                by_op = {}
+                cache[id(contribs)] = (contribs, by_op)
+            result = _reduce_values(
+                [contribs[r] for r in self._ordered_ranks(contribs)], op)
+            if type(result) in _SHAREABLE_TYPES:
+                by_op[id(op)] = result
+            return result
         return _reduce_values(
             [contribs[r] for r in self._ordered_ranks(contribs)], op)
 
@@ -483,6 +665,13 @@ class Comm:
                                     self._world.engine.now)
 
 
+#: result types safe to hand to every rank as one shared object (immutable,
+#: so no rank can perturb another through the alias)
+_SHAREABLE_TYPES = frozenset(
+    (int, float, bool, complex, str, bytes, type(None)))
+_REDUCE_MISS = object()
+
+
 def _reduce_values(values: list[Any], op: Optional[Callable[[Any, Any], Any]]):
     if op is None:
         result = values[0]
@@ -521,7 +710,14 @@ class World:
         self.hooks = HookList()
         self.collectives: dict[tuple[int, int], _Collective] = {}
         self._coll_seq: dict[tuple[int, int], int] = {}
-        self._mailboxes = [Store(engine) for _ in range(nranks)]
+        self._batch = _perf_toggles.TOGGLES.engine_batch
+        if self._batch:
+            self._mailboxes: list[Any] = [_KeyedMailbox(engine)
+                                          for _ in range(nranks)]
+        else:
+            self._mailboxes = [Store(engine) for _ in range(nranks)]
+        #: id(contribs) -> (contribs, {id(op): shared result}) — see allreduce
+        self._reduce_cache: dict[int, tuple] = {}
         self._next_comm_id = 1
         self._node_of = [rank_to_node(r, nranks, cluster.num_nodes, mapping)
                          for r in range(nranks)]
@@ -579,8 +775,12 @@ class World:
         return result
 
     # -- plumbing used by Comm ------------------------------------------------
-    def mailbox(self, world_rank: int) -> Store:
-        """The destination message queue of ``world_rank``."""
+    def mailbox(self, world_rank: int):
+        """The destination message queue of ``world_rank``.
+
+        A :class:`~repro.sim.Store`, or a :class:`_KeyedMailbox` under the
+        ``engine_batch`` toggle — same put/get-match/fail_pending contract.
+        """
         return self._mailboxes[world_rank]
 
     def deliver(self, msg: Message, dest_world_rank: int) -> None:

@@ -12,8 +12,7 @@ means 98 % of the allocated resources are wasted.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -31,9 +30,14 @@ def load_balance(busy_times: Sequence[float]) -> float:
     return float(t.sum() / (len(t) * peak))
 
 
-@dataclass(frozen=True)
-class PhaseSample:
-    """One rank's execution of one phase instance (one step)."""
+class PhaseSample(NamedTuple):
+    """One rank's execution of one phase instance (one step).
+
+    A named tuple rather than a frozen dataclass: every phase of every rank
+    of every step appends one (5 x nranks x n_steps per run), and tuple
+    construction skips the per-field ``object.__setattr__`` a frozen
+    dataclass pays.
+    """
 
     step: int
     phase: str

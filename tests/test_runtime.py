@@ -221,3 +221,58 @@ class TestMalleability:
         run_graph(simple_graph(2), nthreads=1, rank=7, recorder=Rec())
         assert len(records) == 2
         assert all(r[0] == 7 and r[1] == "task" for r in records)
+
+
+class TestPlanEquivalence:
+    """Whole-graph plans (``engine_batch``) vs the scalar task-by-task path.
+
+    Mid-run ``set_slowdown``/``set_capacity`` force a replan; the replayed
+    prefix and the re-simulated suffix must land on exactly the scalar
+    stats — not approximately: the same float expressions in the same
+    order.
+    """
+
+    @staticmethod
+    def _perturbed_run(graph_factory, script):
+        from repro.sim import Engine as Eng
+        eng = Eng()
+        team = Team(eng, CORE, 2)
+        out = {}
+
+        def prog():
+            out["stats"] = yield from team.run(graph_factory())
+
+        eng.process(prog())
+
+        def scripted():
+            for delay, action in script:
+                yield eng.timeout(delay)
+                action(team)
+
+        eng.process(scripted())
+        eng.run()
+        s = out["stats"]
+        return (s.tasks_run, s.instructions, s.busy_seconds,
+                s.overhead_seconds, s.t_start, s.t_end, s.max_concurrency)
+
+    @pytest.mark.parametrize("script", [
+        [(0.4, lambda t: t.set_slowdown(3.0)),
+         (0.7, lambda t: t.set_slowdown(1.0))],
+        [(0.3, lambda t: t.set_capacity(1)),
+         (0.9, lambda t: t.set_capacity(2))],
+        [(0.2, lambda t: t.set_slowdown(2.0)),
+         (0.5, lambda t: t.set_capacity(1)),
+         (1.1, lambda t: t.set_capacity(2)),
+         (1.3, lambda t: t.set_slowdown(1.0))],
+    ], ids=["slowdown", "capacity", "mixed"])
+    def test_midrun_perturbation_exact(self, script):
+        from repro.perf.toggles import configured
+
+        def graphs():
+            return simple_graph(7, instr=0.35 * SEC)
+
+        with configured(engine_batch=False):
+            scalar = self._perturbed_run(graphs, script)
+        with configured(engine_batch=True):
+            batch = self._perturbed_run(graphs, script)
+        assert scalar == batch      # bit-exact, no approx

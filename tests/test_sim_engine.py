@@ -386,3 +386,130 @@ class TestStore:
         eng.run()
         assert p.value == (2.0, "wanted")
         assert store.peek_all() == ["other"]
+
+
+class TestBatchEngine:
+    """The cohort-batched core (``engine_batch``) against the scalar engine.
+
+    Every test drives the same program through a scalar and a batched
+    engine and compares the observable trajectory — the (when, seq) FIFO
+    contract says they must match exactly.
+    """
+
+    @staticmethod
+    def _trace_program(record):
+        def run_on(eng):
+            def mark(label):
+                record.append((round(eng.now, 12), label))
+
+            # interleave zero-delay defers, timers and same-time timers so
+            # the cohort merge order is exercised
+            eng.defer(mark, "defer-a")
+            eng.call_later(0.5, mark, "timer-half")
+            eng.call_later(1.0, mark, "timer-one-first")
+            eng.call_later(1.0, mark, "timer-one-second")
+            eng.defer(mark, "defer-b")
+
+            def prog():
+                yield eng.timeout(0.5)
+                mark("proc-half")
+                eng.defer(mark, "proc-defer")
+                yield eng.timeout(0.5)
+                mark("proc-one")
+
+            eng.process(prog())
+            eng.run()
+        return run_on
+
+    def test_dispatch_order_matches_scalar(self):
+        from repro.perf.toggles import configured
+        scalar_rec, batch_rec = [], []
+        with configured(engine_batch=False):
+            self._trace_program(scalar_rec)(Engine())
+        with configured(engine_batch=True):
+            self._trace_program(batch_rec)(Engine())
+        assert scalar_rec == batch_rec
+
+    def test_run_until_and_resume(self):
+        from repro.perf.toggles import configured
+        fired = []
+        with configured(engine_batch=True):
+            eng = Engine()
+        eng.call_later(1.0, fired.append, "one")
+        eng.call_later(2.0, fired.append, "two")
+        eng.run(until=1.5)
+        assert fired == ["one"] and eng.now == 1.5
+        eng.run()
+        assert fired == ["one", "two"] and eng.now == 2.0
+
+    def test_step_parity_with_run(self):
+        from repro.perf.toggles import configured
+        def schedule(eng, out):
+            eng.call_later(1.0, out.append, "a")
+            eng.call_later(1.0, out.append, "b")
+            eng.call_later(2.0, out.append, "c")
+        with configured(engine_batch=True):
+            e1, e2 = Engine(), Engine()
+        r1, r2 = [], []
+        schedule(e1, r1)
+        schedule(e2, r2)
+        e1.run()
+        while r2 != r1:
+            e2.step()
+        assert e2.now == e1.now
+        assert e2.events_processed == e1.events_processed
+
+    def test_cancel_scheduled_never_fires(self):
+        from repro.perf.toggles import configured
+        fired = []
+        with configured(engine_batch=True):
+            eng = Engine()
+        h = eng.call_later(1.0, fired.append, "cancelled")
+        eng.call_later(2.0, fired.append, "kept")
+        eng.cancel_scheduled(h)
+        eng.run()
+        assert fired == ["kept"]
+        assert eng.arena.cancelled == 1
+        assert eng.arena.live == 0      # cancelled slot was recycled
+
+    def test_cancelled_tail_does_not_advance_clock(self):
+        from repro.perf.toggles import configured
+        with configured(engine_batch=True):
+            eng = Engine()
+        eng.call_later(1.0, lambda: None)
+        h = eng.call_later(5.0, lambda: None)
+        eng.cancel_scheduled(h)
+        eng.run()
+        assert eng.now == 1.0   # the cancelled bucket at t=5 is not a jump
+
+    def test_arena_free_list_recycles(self):
+        from repro.perf.toggles import configured
+        with configured(engine_batch=True):
+            eng = Engine()
+
+        def chain(n):
+            if n:
+                eng.call_later(1.0, chain, n - 1)
+
+        chain(1000)
+        eng.run()
+        assert eng.arena.allocated == 1000
+        assert eng.arena.capacity <= 2          # one slot, recycled 999x
+        assert eng.arena.recycled >= 998
+
+    def test_cohort_counters(self):
+        from repro.perf.instrument import engine_counters
+        from repro.perf.toggles import configured
+        with configured(engine_batch=True):
+            eng = Engine()
+        for _ in range(4):
+            eng.call_later(1.0, lambda: None)
+        eng.call_later(2.0, lambda: None)
+        eng.run()
+        c = engine_counters(eng)["batch"]
+        assert c["cohorts"] == 2
+        assert c["max_cohort"] == 4
+        assert c["cohort_events"] == 5
+        assert c["bulk_jumps"] == 2
+        assert c["jump_total_time"] == pytest.approx(2.0)
+        assert c["cohort_hist"] == {"1": 1, "4-7": 1}
