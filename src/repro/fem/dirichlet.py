@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
-__all__ = ["apply_dirichlet", "apply_dirichlet_symmetric"]
+__all__ = ["DirichletSlots", "apply_dirichlet", "apply_dirichlet_symmetric"]
 
 
 def apply_dirichlet(A: sparse.csr_matrix, b: np.ndarray,
@@ -26,6 +26,84 @@ def apply_dirichlet(A: sparse.csr_matrix, b: np.ndarray,
         A.data[dof] = [1.0]
         b[dof] = val
     return A.tocsr(), b
+
+
+class DirichletSlots:
+    """Precomputed row-replacement maps for repeated :func:`apply_dirichlet`.
+
+    :func:`apply_dirichlet` rebuilds the matrix through a LIL round trip on
+    every call — fine for a one-off setup, wasteful when the same boundary
+    conditions are re-applied every time step against a *fixed sparsity
+    pattern* (the fractional-step momentum operator).  This object runs the
+    LIL path exactly once on a marker matrix whose data encodes each entry's
+    storage slot, and reads back where every unconstrained entry landed:
+
+    * ``dst``/``src`` — CSR data slots of the constrained matrix and the
+      source slots (in the input pattern) feeding them;
+    * ``fixed`` — slots of the constrained rows' identity diagonals
+      (always ``1.0``);
+    * ``indices``/``indptr`` — the constrained pattern, shared (read-only)
+      by every matrix produced through :meth:`matrix`;
+    * ``diag_slots`` — data slot of each row's diagonal entry in the
+      constrained pattern (``None`` when some row stores no diagonal), for
+      O(n) Jacobi-preconditioner refreshes.
+
+    Because the maps are read off the real :func:`apply_dirichlet` output,
+    :meth:`apply` is bit-identical to it by construction for any data on
+    the same pattern.  The pattern is assumed static (same contract as the
+    assembly pattern cache).
+    """
+
+    def __init__(self, A: sparse.csr_matrix, dofs: np.ndarray,
+                 values: np.ndarray):
+        A = A.tocsr()
+        n = A.shape[0]
+        self.shape = A.shape
+        self.source_nnz = A.nnz
+        self.dofs = np.asarray(dofs, dtype=np.int64)
+        self.values = np.broadcast_to(
+            np.asarray(values, dtype=np.float64), self.dofs.shape).copy()
+        # marker data >= 2.0 per source slot; the identity diagonals the
+        # row replacement inserts are exactly 1.0, so they cannot collide
+        marker = sparse.csr_matrix(
+            (np.arange(A.nnz, dtype=np.float64) + 2.0,
+             A.indices, A.indptr), shape=A.shape)
+        out, _ = apply_dirichlet(marker, np.zeros(n), self.dofs, self.values)
+        carried = out.data >= 1.5
+        self.dst = np.nonzero(carried)[0]
+        self.src = (out.data[self.dst] - 2.0).astype(np.int64)
+        self.fixed = np.nonzero(~carried)[0]
+        self.indices = out.indices
+        self.indptr = out.indptr
+        self.nnz = out.nnz
+        row_of_slot = np.repeat(np.arange(n), np.diff(self.indptr))
+        diag = np.nonzero(self.indices == row_of_slot)[0]
+        self.diag_slots = diag if len(diag) == n else None
+
+    def matrix(self, data: np.ndarray) -> sparse.csr_matrix:
+        """Wrap constrained-pattern ``data`` as CSR (indices/indptr shared)."""
+        return sparse.csr_matrix((data, self.indices, self.indptr),
+                                 shape=self.shape)
+
+    def apply(self, source_data: np.ndarray,
+              b: np.ndarray) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """Constrain a matrix given as pattern data; mutates ``b`` in place.
+
+        ``source_data`` is the CSR data of a matrix on the pattern this
+        object was built from.  Returns the same ``(A, b)`` as
+        ``apply_dirichlet(matrix, b, dofs, values)``, without the LIL
+        round trip (``b`` is updated in place rather than copied).
+        """
+        if len(source_data) != self.source_nnz:
+            raise ValueError(
+                "DirichletSlots pattern is stale: the matrix sparsity "
+                "changed after the slots were built (the slot map assumes "
+                "a static pattern)")
+        data = np.empty(self.nnz)
+        data[self.dst] = source_data[self.src]
+        data[self.fixed] = 1.0
+        b[self.dofs] = self.values
+        return self.matrix(data), b
 
 
 def apply_dirichlet_symmetric(A: sparse.csr_matrix, b: np.ndarray,

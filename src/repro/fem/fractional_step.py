@@ -20,6 +20,16 @@ the classic Chorin-Temam incremental projection on our meshes:
 with lumped mass M_L.  Velocity carries 3 interleaved DOF per node
 (:mod:`repro.fem.vector`).
 
+Performance (PR 8): the per-step *setup* work — vector expansion of the
+momentum operator, Dirichlet row replacement, Jacobi rebuild — is recycled
+behind the ``fluid_operator_recycle`` toggle: the expansion permutation and
+Dirichlet slot maps are computed once at construction and each step reduces
+to one gather of the freshly assembled scalar CSR data (bit-identical by
+construction, self-checked at init).  The continuity solve can optionally
+use Alya-style deflated CG (``pressure_solver="deflated"``) whose
+:class:`~repro.solver.deflated.DeflationSetup` is paid once in ``__init__``
+under the ``deflation_setup_cache`` toggle.
+
 This is the *numeric* fluid path; the tube-flow test in
 ``tests/test_fluid.py`` drives it end-to-end (inflow/outflow balance,
 divergence reduction by the projection).
@@ -27,23 +37,40 @@ divergence reduction by the projection).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 from scipy import sparse
 
 from ..mesh.mesh import Mesh
-from ..solver import bicgstab, cg, jacobi_preconditioner
+from ..perf import toggles as _perf_toggles
+from ..solver import bicgstab, cg, deflated_cg, jacobi_preconditioner
+from ..solver.deflated import DeflationSetup
 from .assembly import assemble_operator
-from .dirichlet import apply_dirichlet, apply_dirichlet_symmetric
+from .dirichlet import DirichletSlots, apply_dirichlet, \
+    apply_dirichlet_symmetric
 from .vector import (
     deinterleave,
     divergence_operator,
     gradient_operator,
     interleave,
+    vector_expansion_perm,
     vector_operator,
 )
 
-__all__ = ["FlowBC", "FractionalStepSolver", "StepInfo"]
+__all__ = ["FLUID_COUNTERS", "FlowBC", "FractionalStepSolver", "StepInfo"]
+
+#: running totals of the fluid fast paths (momentum matrices recycled vs
+#: rebuilt from scratch, deflated continuity solves, deflation setups
+#: built/reused); surfaced by :func:`repro.perf.instrument.fluid_counters`
+FLUID_COUNTERS = {
+    "momentum_recycled": 0,
+    "momentum_rebuilt": 0,
+    "pressure_deflated_solves": 0,
+    "deflation_setups_built": 0,
+    "deflation_setups_reused": 0,
+}
 
 
 @dataclass(frozen=True)
@@ -84,10 +111,37 @@ class StepInfo:
 
 
 class FractionalStepSolver:
-    """Chorin-Temam incremental projection on a mesh with velocity BCs."""
+    """Chorin-Temam incremental projection on a mesh with velocity BCs.
+
+    Parameters
+    ----------
+    mesh, bc, viscosity, density, dt:
+        The discrete problem.  The mesh is assumed static for the solver's
+        lifetime (the same contract as the assembly pattern cache).
+    pressure_solver:
+        ``"cg"`` (default) solves the pressure Poisson system with plain
+        preconditioned CG; ``"deflated"`` uses Alya-style deflated CG with
+        a subdomain coarse space (one group per RCB part).
+    pressure_groups:
+        Optional explicit (nnodes,) coarse-group assignment for the
+        deflated solver; defaults to ``rcb_partition(mesh.coords,
+        n_coarse)``.
+    n_coarse:
+        Number of RCB parts for the default coarse space.
+
+    The ``fluid_operator_recycle`` and ``deflation_setup_cache`` toggles
+    are captured at construction (long-lived-object capture semantics of
+    :mod:`repro.perf.toggles`).
+    """
 
     def __init__(self, mesh: Mesh, bc: FlowBC, viscosity: float = 1.9e-5,
-                 density: float = 1.15, dt: float = 1e-3):
+                 density: float = 1.15, dt: float = 1e-3,
+                 pressure_solver: str = "cg",
+                 pressure_groups: Optional[np.ndarray] = None,
+                 n_coarse: int = 16):
+        if pressure_solver not in ("cg", "deflated"):
+            raise ValueError("pressure_solver must be 'cg' or 'deflated', "
+                             f"got {pressure_solver!r}")
         self.mesh = mesh
         self.bc = bc
         self.viscosity = viscosity
@@ -100,8 +154,8 @@ class FractionalStepSolver:
         self.M = assemble_operator(mesh, kappa=0.0, mass_coeff=1.0).matrix
         self.G = gradient_operator(mesh)                   # (3n, n) = D^T
         self.D = divergence_operator(mesh)                 # (n, 3n)
-        lumped = np.asarray(self.M.sum(axis=1)).ravel()
-        self._inv_lumped3 = 1.0 / np.repeat(lumped, 3)
+        self._lumped = np.asarray(self.M.sum(axis=1)).ravel()
+        self._inv_lumped3 = 1.0 / np.repeat(self._lumped, 3)
         # consistent pressure operator: L = D M_L^{-1} D^T (SPD once pinned),
         # which makes the projection *exactly* kill the discrete divergence.
         Minv3 = sparse.diags(self._inv_lumped3)
@@ -119,22 +173,121 @@ class FractionalStepSolver:
         self._vel_values = vel_values.reshape(-1)
         # seed the prescribed values into the initial field
         self.u[vel_nodes] = vel_values
+        # fast paths (toggle state captured at construction)
+        toggles = _perf_toggles.TOGGLES
+        self._slots: Optional[DirichletSlots] = None
+        if toggles.fluid_operator_recycle:
+            self._build_recycler()
+        self.pressure_solver = pressure_solver
+        self._pressure_groups: Optional[np.ndarray] = None
+        self._defl_setup: Optional[DeflationSetup] = None
+        if pressure_solver == "deflated":
+            if pressure_groups is not None:
+                self._pressure_groups = np.asarray(pressure_groups)
+            else:
+                from ..partition import rcb_partition
+                self._pressure_groups = rcb_partition(mesh.coords, n_coarse)
+            if toggles.deflation_setup_cache:
+                self._defl_setup = DeflationSetup(self._L,
+                                                  self._pressure_groups)
+                FLUID_COUNTERS["deflation_setups_built"] += 1
+
+    # -- operator recycling --------------------------------------------------
+    def _build_recycler(self) -> None:
+        """Precompute the momentum-operator recycling maps (one-time cost).
+
+        Assembles the scalar momentum operator once to fix its sparsity
+        pattern, derives the vector-expansion permutation and the Dirichlet
+        slot maps, composes them into a single scalar-data -> constrained-
+        vector-data gather, and self-checks the whole chain bit-for-bit
+        against the naive ``vector_operator`` + ``apply_dirichlet`` path.
+        """
+        mesh, n = self.mesh, self.mesh.nnodes
+        scalar = assemble_operator(mesh, kappa=self.viscosity,
+                                   mass_coeff=self.density / self.dt,
+                                   velocity=self.u).matrix
+        self._scalar_nnz = scalar.nnz
+        perm, vind, vptr = vector_expansion_perm(scalar, n)
+        pattern = sparse.csr_matrix(
+            (np.zeros(len(perm)), vind, vptr), shape=(3 * n, 3 * n))
+        slots = DirichletSlots(pattern, self._vel_dofs, self._vel_values)
+        # one composed gather: constrained vector slot <- scalar slot
+        gather = perm[slots.src]
+        # self-check against the naive path (init-only cost): same scalar
+        # data pushed through both routes must agree bit-for-bit
+        data = np.empty(slots.nnz)
+        data[slots.dst] = scalar.data[gather]
+        data[slots.fixed] = 1.0
+        naive = vector_operator(mesh, kappa=self.viscosity,
+                                mass_coeff=self.density / self.dt,
+                                velocity=self.u)
+        naive, _ = apply_dirichlet(naive, np.zeros(3 * n), self._vel_dofs,
+                                   self._vel_values)
+        if not (np.array_equal(naive.indptr, slots.indptr)
+                and np.array_equal(naive.indices, slots.indices)
+                and np.array_equal(naive.data, data)):
+            raise RuntimeError(
+                "momentum operator recycling self-check failed: recycled "
+                "matrix differs from the naive path")
+        self._slots = slots
+        self._gather = gather
+
+    def _momentum_system(self, rhs: np.ndarray):
+        """Constrained momentum matrix + RHS + Jacobi preconditioner.
+
+        The recycled path assembles only the *scalar* operator (itself
+        incremental under ``operator_split``) and gathers its data straight
+        into the constrained vector pattern; the naive path re-runs the COO
+        expansion and the LIL row replacement.  Both produce bit-identical
+        systems, so the returned solver inputs — and everything downstream
+        — match exactly.
+        """
+        mesh = self.mesh
+        nu, rho, dt = self.viscosity, self.density, self.dt
+        if self._slots is not None:
+            scalar = assemble_operator(mesh, kappa=nu, mass_coeff=rho / dt,
+                                       velocity=self.u).matrix
+            if scalar.nnz != self._scalar_nnz:
+                raise ValueError(
+                    "momentum recycling pattern is stale: the mesh changed "
+                    "after solver construction")
+            data = np.empty(self._slots.nnz)
+            data[self._slots.dst] = scalar.data[self._gather]
+            data[self._slots.fixed] = 1.0
+            A = self._slots.matrix(data)
+            rhs[self._vel_dofs] = self._vel_values
+            if self._slots.diag_slots is not None:
+                # O(n) Jacobi refresh from the diagonal slot view —
+                # identical values to jacobi_preconditioner(A)
+                diag = data[self._slots.diag_slots].copy()
+                diag[np.abs(diag) < 1e-300] = 1.0
+                inv = 1.0 / diag
+
+                def pre(r: np.ndarray) -> np.ndarray:
+                    return inv * r
+            else:  # pragma: no cover - momentum diagonal always stored
+                pre = jacobi_preconditioner(A)
+            FLUID_COUNTERS["momentum_recycled"] += 1
+            return A, rhs, pre
+        A = vector_operator(mesh, kappa=nu, mass_coeff=rho / dt,
+                            velocity=self.u)
+        A, rhs = apply_dirichlet(A, rhs, self._vel_dofs, self._vel_values)
+        FLUID_COUNTERS["momentum_rebuilt"] += 1
+        return A, rhs, jacobi_preconditioner(A)
 
     # -- one time step ------------------------------------------------------
     def step(self, tol: float = 1e-7, maxiter: int = 600) -> StepInfo:
         """Advance one dt; returns solver/divergence diagnostics."""
-        mesh, dt = self.mesh, self.dt
-        rho, nu = self.density, self.viscosity
+        dt = self.dt
+        rho = self.density
         # 1. momentum predictor.  The weak pressure-gradient term is
         #    (grad p, v) = -(p, div v) = -(D^T p)_v, so it contributes
         #    +D^T p on the RHS once moved across.
-        A = vector_operator(mesh, kappa=nu, mass_coeff=rho / dt,
-                            velocity=self.u)
         rhs = (rho / dt) * (self._mass3(interleave(self.u))) \
             + self.G @ self.p
-        A, rhs = apply_dirichlet(A, rhs, self._vel_dofs, self._vel_values)
+        A, rhs, pre = self._momentum_system(rhs)
         res_m = bicgstab(A, rhs, x0=interleave(self.u), tol=tol,
-                         maxiter=maxiter, M=jacobi_preconditioner(A))
+                         maxiter=maxiter, M=pre)
         u_star = res_m.x
         # 2. pressure Poisson for the increment phi:
         #    u^{n+1} = u* + dt/rho M_L^{-1} D^T phi  and  D u^{n+1} = 0
@@ -143,7 +296,17 @@ class FractionalStepSolver:
         div_before = float(np.linalg.norm(div_star))
         b = -(rho / dt) * div_star
         b[self.bc.outlet_nodes] = 0.0
-        res_p = cg(self._L, b, tol=tol, maxiter=maxiter, M=self._L_pre)
+        if self.pressure_solver == "deflated":
+            if self._defl_setup is not None:
+                FLUID_COUNTERS["deflation_setups_reused"] += 1
+            else:
+                FLUID_COUNTERS["deflation_setups_built"] += 1
+            res_p = deflated_cg(self._L, b, self._pressure_groups, tol=tol,
+                                maxiter=maxiter, M=self._L_pre,
+                                setup=self._defl_setup)
+            FLUID_COUNTERS["pressure_deflated_solves"] += 1
+        else:
+            res_p = cg(self._L, b, tol=tol, maxiter=maxiter, M=self._L_pre)
         phi = res_p.x
         # 3. projection
         u_new = u_star + (dt / rho) * (self._inv_lumped3 * (self.G @ phi))
@@ -162,10 +325,13 @@ class FractionalStepSolver:
 
     # -- helpers ------------------------------------------------------------
     def _mass3(self, dofs: np.ndarray) -> np.ndarray:
-        """Apply the (block-diagonal) vector mass matrix."""
-        field = deinterleave(dofs)
-        return interleave(np.column_stack([self.M @ field[:, c]
-                                           for c in range(3)]))
+        """Apply the (block-diagonal) vector mass matrix.
+
+        One sparse matrix-matrix product on the (n, 3) field — bit-identical
+        to the per-component matvec loop (CSR SpMM accumulates each column
+        exactly like the corresponding matvec).
+        """
+        return interleave(self.M @ deinterleave(dofs))
 
     def flow_rate_through(self, nodes: np.ndarray,
                           normal: np.ndarray) -> float:
@@ -174,8 +340,7 @@ class FractionalStepSolver:
 
         Used by tests to compare inflow and outflow (mass conservation).
         """
-        lumped = np.asarray(self.M.sum(axis=1)).ravel()
         u_n = self.u[nodes] @ normal
-        weights = lumped[nodes]
+        weights = self._lumped[nodes]
         # lumped masses are volumes; normalize to act as area weights
         return float((u_n * weights).sum() / weights.sum())

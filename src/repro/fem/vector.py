@@ -28,8 +28,8 @@ from . import geometry as _geom
 from .assembly import _geometry
 from .shape import reference_element
 
-__all__ = ["vector_operator", "gradient_operator", "divergence_operator",
-           "interleave", "deinterleave"]
+__all__ = ["vector_operator", "vector_expansion_perm", "gradient_operator",
+           "divergence_operator", "interleave", "deinterleave"]
 
 
 def interleave(field: np.ndarray) -> np.ndarray:
@@ -62,7 +62,11 @@ def vector_operator(mesh: Mesh, kappa: float = 0.0, mass_coeff: float = 0.0,
     scalar = assemble_operator(mesh, kappa=kappa, mass_coeff=mass_coeff,
                                velocity=velocity,
                                stabilize=stabilize).matrix.tocoo()
-    n = mesh.nnodes
+    return _expand_to_vector(scalar, mesh.nnodes)
+
+
+def _expand_to_vector(scalar: sparse.coo_matrix, n: int) -> sparse.csr_matrix:
+    """Replicate a scalar (n x n) COO operator on 3 interleaved components."""
     rows, cols, vals = [], [], []
     for c in range(3):
         rows.append(3 * scalar.row + c)
@@ -72,6 +76,28 @@ def vector_operator(mesh: Mesh, kappa: float = 0.0, mass_coeff: float = 0.0,
         (np.concatenate(vals),
          (np.concatenate(rows), np.concatenate(cols))),
         shape=(3 * n, 3 * n)).tocsr()
+
+
+def vector_expansion_perm(scalar: sparse.csr_matrix, n: int
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gather permutation turning scalar CSR data into vector CSR data.
+
+    For a scalar operator with a fixed sparsity pattern, the block-diagonal
+    vector expansion of :func:`vector_operator` is purely structural: entry
+    ``k`` of the vector matrix's data is some fixed entry ``perm[k]`` of the
+    scalar data.  This pushes marker data (each scalar slot's index) through
+    the *same* COO expansion code, so the returned ``(perm, indices,
+    indptr)`` reproduces ``vector_operator``'s output bit-identically via
+    ``data = scalar.data[perm]`` — without re-running the COO round trip
+    per call.  Valid for any scalar matrix on the same pattern (static-mesh
+    contract, as for the assembly pattern cache).
+    """
+    marker = sparse.csr_matrix(
+        (np.arange(1, scalar.nnz + 1, dtype=np.float64),
+         scalar.indices, scalar.indptr), shape=scalar.shape)
+    vec = _expand_to_vector(marker.tocoo(), n)
+    perm = vec.data.astype(np.int64) - 1
+    return perm, vec.indices, vec.indptr
 
 
 def _build_coupling(mesh: Mesh, use_geom: bool) -> sparse.csr_matrix:

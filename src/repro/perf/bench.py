@@ -71,7 +71,7 @@ TRAJECTORY_NOISE_FLOOR = 0.9
 TRAJECTORY_QUICK_FLOOR = 0.85
 
 _SCHEMA = "repro-bench-v1"
-_DEFAULT_OUT = "BENCH_pr7.json"
+_DEFAULT_OUT = "BENCH_pr8.json"
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -267,6 +267,239 @@ def _sgs_workload() -> float:
         update_sgs(wl.mesh, state, wl.nodal_velocity,
                    viscosity=1.9e-5, dt=wl.spec.dt)
     return float(np.linalg.norm(state.values))
+
+
+# -- numeric fluid workload pieces -------------------------------------------
+
+#: (mesh, bc) of the straight-tube flow problem driving the fluid rows;
+#: built once, untimed (the mesh and BCs are toggle-neutral inputs)
+_FLUID_TUBE: Optional[tuple] = None
+
+#: (before_solver, after_solver, u0, p0) — the fractional-step solver pair;
+#: the before side is constructed with the fluid fast paths off (the
+#: ``fluid_operator_recycle`` / ``deflation_setup_cache`` toggles are
+#: captured at construction), the after side with the current defaults
+_FLUID_SOLVERS: Optional[tuple] = None
+
+#: (A, groups, rhs list) of the pressure-solve row: an SPD pressure-like
+#: Poisson system on a structured tet cube with a large RCB coarse space
+_PRESSURE_SYSTEM: Optional[tuple] = None
+
+
+def _fluid_tube() -> tuple:
+    """Straight-tube mesh + velocity BCs (parabolic inflow, no-slip wall,
+    pressure pinned at the outlet) — the ``tests/test_fluid.py`` problem at
+    a bench-sized resolution."""
+    global _FLUID_TUBE
+    if _FLUID_TUBE is None:
+        import numpy as np
+
+        from ..fem import FlowBC
+        from ..mesh.airway import Segment
+        from ..mesh.generator import MeshResolution, build_tube_mesh
+
+        seg = Segment(sid=0, parent=-1, generation=0, start=np.zeros(3),
+                      direction=np.array([0.0, 0.0, -1.0]), length=0.04,
+                      radius=0.01)
+        mesh = build_tube_mesh(seg, MeshResolution(points_per_ring=20,
+                                                   max_sections=16))
+        z = mesh.coords[:, 2]
+        r = np.linalg.norm(mesh.coords[:, :2], axis=1)
+        inlet = np.nonzero(np.isclose(z, 0.0) & (r < 0.0099))[0]
+        outlet = np.nonzero(np.isclose(z, -0.04))[0]
+        wall = np.nonzero(np.isclose(r, 0.01))[0]
+        u_in = np.zeros((len(inlet), 3))
+        u_in[:, 2] = -1.0 * (1.0 - (r[inlet] / 0.01) ** 2)
+        bc = FlowBC(inlet_nodes=inlet, inlet_velocity=u_in, wall_nodes=wall,
+                    outlet_nodes=outlet)
+        _FLUID_TUBE = (mesh, bc)
+    return _FLUID_TUBE
+
+
+def _fluid_solvers() -> tuple:
+    """Construct the before/after fractional-step solver pair (untimed).
+
+    Solver construction captures the ``fluid_operator_recycle`` and
+    ``deflation_setup_cache`` toggles, so the before side must be built
+    under :func:`~repro.perf.toggles.configured` with them off; the timed
+    row then measures pure per-step cost on warm solvers.
+    """
+    global _FLUID_SOLVERS
+    if _FLUID_SOLVERS is None:
+        from ..fem import FractionalStepSolver
+        from .toggles import configured
+
+        mesh, bc = _fluid_tube()
+        kwargs = dict(viscosity=1e-3, density=1.0, dt=1e-3)
+        with configured(fluid_operator_recycle=False,
+                        deflation_setup_cache=False, krylov_buffers=False):
+            before = FractionalStepSolver(mesh, bc, **kwargs)
+        after = FractionalStepSolver(mesh, bc, **kwargs)
+        _FLUID_SOLVERS = (before, after, after.u.copy(), after.p.copy())
+    return _FLUID_SOLVERS
+
+
+def _fractional_step_run(solver, u0, p0) -> str:
+    """Reset the fields and advance 10 steps (the startup regime, where
+    per-step setup dominates the short Krylov solves); digest covers the
+    final velocity/pressure bytes and the per-step iteration counts."""
+    solver.u = u0.copy()
+    solver.p = p0.copy()
+    infos = solver.run(10, tol=1e-4)
+    digest = hashlib.sha256()
+    digest.update(solver.u.tobytes())
+    digest.update(solver.p.tobytes())
+    digest.update(repr([(i.momentum_iterations, i.pressure_iterations)
+                        for i in infos]).encode())
+    return digest.hexdigest()
+
+
+def _fractional_step_after() -> str:
+    before, after, u0, p0 = _fluid_solvers()
+    return _fractional_step_run(after, u0, p0)
+
+
+def _fractional_step_before() -> str:
+    """The pre-PR-8 per-step path: COO vector expansion + LIL Dirichlet row
+    replacement + full Jacobi rebuild every step, allocating Krylov cores
+    (``krylov_buffers`` is read per solve, so it is forced off here too)."""
+    from .toggles import configured
+
+    before, after, u0, p0 = _fluid_solvers()
+    with configured(fluid_operator_recycle=False,
+                    deflation_setup_cache=False, krylov_buffers=False):
+        return _fractional_step_run(before, u0, p0)
+
+
+def _cube_tet_mesh(n: int):
+    """Conforming Kuhn tet mesh of the unit cube: n^3 cells, 6 tets each."""
+    import numpy as np
+
+    from ..mesh.elements import ElementType
+    from ..mesh.mesh import Mesh
+
+    xs = np.linspace(0.0, 1.0, n + 1)
+    coords = np.array([[x, y, z] for x in xs for y in xs for z in xs])
+
+    def vid(i, j, k):
+        return (i * (n + 1) + j) * (n + 1) + k
+
+    tets = []
+    perms = [(0, 1, 2), (0, 2, 1), (1, 0, 2), (1, 2, 0), (2, 0, 1),
+             (2, 1, 0)]
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                base = np.array([i, j, k])
+                for perm in perms:
+                    path = [base.copy()]
+                    p = base.copy()
+                    for axis in perm:
+                        p = p.copy()
+                        p[axis] += 1
+                        path.append(p)
+                    tets.append([vid(*q) for q in path])
+    conn = np.full((len(tets), 6), -1, dtype=np.int32)
+    conn[:, :4] = np.asarray(tets, dtype=np.int32)
+    types = np.full(len(tets), ElementType.TET, dtype=np.int8)
+    return Mesh(coords, types, conn)
+
+
+def _pressure_system() -> tuple:
+    """SPD pressure-like system + coarse space + RHS batch (untimed).
+
+    A regularized Poisson operator on a 6859-node tet cube with a 1536-part
+    RCB coarse space: large enough that the per-call ``DeflationSetup``
+    (sparse coarse products + dense Cholesky of the 1536^2 coarse operator)
+    is comparable to a solve — the amortization regime of a production
+    continuity solver that builds its deflation once per mesh.
+    """
+    global _PRESSURE_SYSTEM
+    if _PRESSURE_SYSTEM is None:
+        import numpy as np
+
+        from ..fem import assemble_operator
+        from ..partition import rcb_partition
+
+        mesh = _cube_tet_mesh(18)
+        K = assemble_operator(mesh, kappa=1.0).matrix
+        M = assemble_operator(mesh, kappa=0.0, mass_coeff=1.0).matrix
+        A = (K + 1e-4 * M).tocsr()
+        groups = rcb_partition(mesh.coords, 1536)
+        rng = np.random.default_rng(0)
+        bs = [rng.standard_normal(A.shape[0]) for _ in range(8)]
+        _PRESSURE_SYSTEM = (A, groups, bs)
+    return _PRESSURE_SYSTEM
+
+
+def _pressure_digest(results) -> str:
+    digest = hashlib.sha256()
+    for res in results:
+        digest.update(res.x.tobytes())
+        digest.update(repr(res.iterations).encode())
+    return digest.hexdigest()
+
+
+def _pressure_solve_cached() -> str:
+    """One :class:`DeflationSetup` amortized over the RHS batch.  The setup
+    build is *inside* the timed region — the row measures the amortization,
+    not its omission."""
+    from ..solver import DeflationSetup, deflated_cg
+
+    A, groups, bs = _pressure_system()
+    setup = DeflationSetup(A, groups)
+    return _pressure_digest(
+        [deflated_cg(A, b, tol=1e-4, setup=setup) for b in bs])
+
+
+def _pressure_solve_per_call() -> str:
+    """The pre-PR-8 execution model: every solve rebuilds and refactorizes
+    the coarse space from the group vector."""
+    from ..solver import deflated_cg
+
+    A, groups, bs = _pressure_system()
+    return _pressure_digest(
+        [deflated_cg(A, b, groups, tol=1e-4) for b in bs])
+
+
+#: (A, M, rhs list) of the Krylov-kernel row: a small, iteration-heavy SPD
+#: system where the per-iteration allocation overhead the buffered cores
+#: remove is a visible fraction of the solve
+_KRYLOV_SYSTEM: Optional[tuple] = None
+
+
+def _krylov_system() -> tuple:
+    global _KRYLOV_SYSTEM
+    if _KRYLOV_SYSTEM is None:
+        import numpy as np
+
+        from ..fem import assemble_operator
+        from ..solver import jacobi_preconditioner
+
+        mesh = _cube_tet_mesh(8)
+        K = assemble_operator(mesh, kappa=1.0).matrix
+        M = assemble_operator(mesh, kappa=0.0, mass_coeff=1.0).matrix
+        A = (K + 1e-4 * M).tocsr()
+        rng = np.random.default_rng(0)
+        bs = [rng.standard_normal(A.shape[0]) for _ in range(32)]
+        _KRYLOV_SYSTEM = (A, jacobi_preconditioner(A), bs)
+    return _KRYLOV_SYSTEM
+
+
+def _krylov_cg_workload() -> str:
+    """Repeated tight-tolerance Jacobi-CG solves on the prebuilt system.
+
+    The matrix is toggle-neutral setup, so the standard baseline-vs-default
+    mechanism isolates the ``krylov_buffers`` allocation-free cores; the
+    buffered iteration replays the allocating cores' FP operations in the
+    same order, so the digest (solution bytes + iteration counts) is
+    bit-identical by design.
+    """
+    from ..solver import cg
+
+    A, M, bs = _krylov_system()
+    return _pressure_digest(
+        [cg(A, b, tol=1e-12, maxiter=4000, M=M) for b in bs])
 
 
 #: population after the coarse pre-roll; shared starting point of every
@@ -507,6 +740,31 @@ def _benchmark_table(quick: bool) -> list[dict]:
         {"name": "sgs", "kind": "kernel",
          "fn": _sgs_workload, "units": "elements", "warmup": True,
          "unit_count": lambda: 10 * _workload().mesh.nelem},
+        # before/after compare solver *construction states* (the fluid
+        # toggles are captured at construction), so both sides are prebuilt
+        # in setup and the before side re-enters configured() per call for
+        # the per-solve krylov_buffers read
+        {"name": "fractional_step", "kind": "kernel",
+         "fn": _fractional_step_after, "before_fn": _fractional_step_before,
+         "setup": _fluid_solvers, "units": "steps", "repeats": 7,
+         "unit_count": lambda: 10, "min_speedup": 2.0,
+         "note": "before = COO vector expansion + LIL Dirichlet rows + "
+                 "Jacobi rebuild per step, allocating Krylov cores; after "
+                 "= one composed gather into the precomputed constrained "
+                 "pattern (fluid_operator_recycle) + buffered cores"},
+        {"name": "pressure_solve", "kind": "kernel",
+         "fn": _pressure_solve_cached, "before_fn": _pressure_solve_per_call,
+         "setup": _pressure_system, "units": "solves", "repeats": 3,
+         "unit_count": lambda: 8, "min_speedup": 1.5,
+         "note": "before = deflated CG rebuilding the coarse space every "
+                 "solve; after = one DeflationSetup (built inside the "
+                 "timed region) amortized over the RHS batch"},
+        {"name": "krylov_cg", "kind": "kernel",
+         "fn": _krylov_cg_workload, "units": "solves", "warmup": True,
+         "setup": _krylov_system, "repeats": 7, "min_speedup": 1.1,
+         "unit_count": lambda: 32,
+         "note": "gates the krylov_buffers allocation-free cores on an "
+                 "iteration-heavy small system"},
         {"name": "particle_location", "kind": "kernel",
          "fn": _particles_workload, "units": "particles", "warmup": True,
          "setup": _particle_snapshots, "min_speedup": 1.2,
@@ -782,8 +1040,36 @@ def resolve_auto_baseline(out_path: str) -> Optional[str]:
     return best[1] if best else None
 
 
+#: toggles whose code paths run_cfpd never reaches in full — the driver's
+#: coupled fluid phase solves prebuilt operator systems but constructs no
+#: :class:`FractionalStepSolver` — so their digest check drives the
+#: tube-flow solver directly (both pressure solvers, both toggle states)
+_FLUID_DIGEST_TOGGLES = ("fluid_operator_recycle", "deflation_setup_cache",
+                         "krylov_buffers")
+
+
+def _fluid_toggle_digest() -> str:
+    """Tube-flow digest for the fluid-path toggles: fresh solvers (toggle
+    capture happens at construction) advanced 6 steps with each pressure
+    solver; covers field bytes and Krylov iteration counts."""
+    from ..fem import FractionalStepSolver
+
+    mesh, bc = _fluid_tube()
+    digest = hashlib.sha256()
+    for pressure_solver in ("cg", "deflated"):
+        solver = FractionalStepSolver(mesh, bc, viscosity=1e-3, density=1.0,
+                                      dt=2e-3,
+                                      pressure_solver=pressure_solver)
+        infos = solver.run(6, tol=1e-5)
+        digest.update(solver.u.tobytes())
+        digest.update(solver.p.tobytes())
+        digest.update(repr([(i.momentum_iterations, i.pressure_iterations)
+                            for i in infos]).encode())
+    return digest.hexdigest()
+
+
 def _digest_check(toggle: str) -> int:
-    """Run the default end-to-end config with ``toggle`` off vs on and
+    """Run the toggle's digest workload with ``toggle`` off vs on and
     compare simulated digests — the quick per-push contract check."""
     from .toggles import Toggles, configured
 
@@ -791,9 +1077,11 @@ def _digest_check(toggle: str) -> int:
         print(f"[bench] unknown toggle {toggle!r}; known: "
               f"{', '.join(Toggles.__dataclass_fields__)}", file=sys.stderr)
         return 2
+    digest_fn = (_fluid_toggle_digest if toggle in _FLUID_DIGEST_TOGGLES
+                 else _run_cfpd_digest)
     with configured(**{toggle: False}):
-        d_off = _run_cfpd_digest()
-    d_on = _run_cfpd_digest()
+        d_off = digest_fn()
+    d_on = digest_fn()
     if d_off != d_on:
         print(f"[bench] FAIL: simulated digest depends on toggle "
               f"{toggle} ({d_off[:16]}… off vs {d_on[:16]}… on)",

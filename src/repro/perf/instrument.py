@@ -11,7 +11,10 @@ composes them into the ``BENCH_pr2.json`` report.
 * :class:`ThroughputMeter` — units-per-second rates from (units, seconds)
   pairs;
 * :func:`engine_counters` — snapshot of a DES engine's progress counters
-  (events processed, simulated now, alive processes).
+  (events processed, simulated now, alive processes);
+* :func:`fluid_counters` — snapshot of the numeric fluid fast-path tallies
+  (momentum operators recycled vs rebuilt, deflated pressure solves,
+  deflation setups built/reused, Krylov workspace cache traffic).
 """
 
 from __future__ import annotations
@@ -20,7 +23,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-__all__ = ["PhaseTimer", "Counters", "ThroughputMeter", "engine_counters"]
+__all__ = ["PhaseTimer", "Counters", "ThroughputMeter", "engine_counters",
+           "fluid_counters"]
 
 
 class PhaseTimer:
@@ -167,4 +171,23 @@ def engine_counters(engine) -> Dict[str, float]:
             "plan_replans": arbiter.plan_replans,
         }
     out["batch"] = batch
+    return out
+
+
+def fluid_counters() -> Dict[str, float]:
+    """Snapshot of the numeric fluid fast-path tallies.
+
+    Combines the :data:`repro.fem.fractional_step.FLUID_COUNTERS` running
+    totals (momentum operators recycled vs rebuilt from scratch, deflated
+    continuity solves, deflation setups built/reused) with the buffered
+    Krylov cores' workspace-cache counters
+    (:func:`repro.solver.krylov.krylov_workspace_stats`), namespaced under
+    ``"krylov_workspaces"``.  Process-wide totals — diagnostics, not part
+    of any simulated result.
+    """
+    from ..fem.fractional_step import FLUID_COUNTERS
+    from ..solver.krylov import krylov_workspace_stats
+
+    out: Dict[str, float] = dict(FLUID_COUNTERS)
+    out["krylov_workspaces"] = krylov_workspace_stats()
     return out

@@ -95,6 +95,25 @@ class Toggles:
     #: ``World``.  Preserves the exact (when, seq) FIFO tie-break order of
     #: the scalar engine.
     engine_batch: bool = True
+    #: ``fem.fractional_step``: operator recycling in the momentum
+    #: predictor — the Dirichlet-applied momentum matrix and its sparsity
+    #: pattern are built once, each step scatters the freshly assembled
+    #: scalar CSR data through precomputed vector-expansion and
+    #: Dirichlet-row slot maps (no COO re-expansion, no LIL row
+    #: replacement), and the Jacobi preconditioner refreshes from a
+    #: diagonal slot view.  Bit-identical to the rebuild-from-scratch path.
+    fluid_operator_recycle: bool = True
+    #: ``solver.deflated`` / ``fem.fractional_step``: reuse one
+    #: :class:`~repro.solver.deflated.DeflationSetup` (sparse W, sparse
+    #: AW, Cholesky factor of E) across deflated-CG solves against the
+    #: same operator instead of rebuilding the coarse space per call; the
+    #: fractional-step solver pays the setup once in ``__init__``.
+    deflation_setup_cache: bool = True
+    #: ``solver.krylov``: allocation-free CG/BiCGStab iteration cores —
+    #: per-size workspace vectors reused across solves, with in-place
+    #: ``out=`` axpy/scal updates that preserve the exact floating-point
+    #: operation order of the allocating cores.
+    krylov_buffers: bool = True
 
 
 #: process-wide current toggle state

@@ -1,16 +1,18 @@
 """Algebraic solvers: CG and deflated CG (continuity), BiCGStab (momentum),
 Jacobi preconditioning."""
 
-from .deflated import coarse_space_from_groups, deflated_cg
+from .deflated import DeflationSetup, coarse_space_from_groups, deflated_cg
 from .krylov import (
     SolveResult,
     SolverBreakdown,
     bicgstab,
     cg,
     jacobi_preconditioner,
+    krylov_workspace_stats,
 )
 
 __all__ = [
+    "DeflationSetup",
     "SolveResult",
     "SolverBreakdown",
     "bicgstab",
@@ -18,4 +20,5 @@ __all__ = [
     "coarse_space_from_groups",
     "deflated_cg",
     "jacobi_preconditioner",
+    "krylov_workspace_stats",
 ]

@@ -23,10 +23,11 @@ from typing import Callable, Optional
 
 import numpy as np
 from scipy import sparse
+from scipy.linalg import solve_triangular
 
 from .krylov import SolveResult
 
-__all__ = ["coarse_space_from_groups", "deflated_cg"]
+__all__ = ["DeflationSetup", "coarse_space_from_groups", "deflated_cg"]
 
 
 def coarse_space_from_groups(groups: np.ndarray,
@@ -43,10 +44,65 @@ def coarse_space_from_groups(groups: np.ndarray,
     return sparse.csr_matrix((data, (np.arange(n), groups)), shape=(n, k))
 
 
-def deflated_cg(A: sparse.spmatrix, b: np.ndarray, groups: np.ndarray,
+class DeflationSetup:
+    """Reusable coarse-space setup for :func:`deflated_cg`.
+
+    Alya builds the continuity solver's deflation operators once and
+    amortizes them over thousands of time steps; this object is that
+    amortized state: the sparse indicator matrix ``W`` (n x k), the sparse
+    product ``AW = A @ W`` (at most nnz(A) stored entries — the dense
+    (n, k) intermediate of the naive formulation is never materialized),
+    the dense coarse operator ``E = W^T A W`` (k x k) and its Cholesky
+    factor.  A singular ``E`` (e.g. a pure-Neumann operator whose constant
+    vector the coarse space contains) falls back to least squares.
+
+    Build once per ``(A, groups)`` and pass via ``deflated_cg(...,
+    setup=...)``; the setup holds no solve state, so one instance is safe
+    to share across any number of solves against the same operator.
+    """
+
+    def __init__(self, A: sparse.spmatrix, groups: np.ndarray,
+                 ngroups: Optional[int] = None):
+        self.groups = np.asarray(groups)
+        self.W = coarse_space_from_groups(self.groups, ngroups)
+        self.AW = (A @ self.W).tocsr()                # sparse (n, k)
+        self.E = np.asarray((self.W.T @ self.AW).toarray())   # dense (k, k)
+        try:
+            self._chol = np.linalg.cholesky(self.E)
+        except np.linalg.LinAlgError:
+            # singular coarse operator (e.g. fully regularized out): fall
+            # back to least squares per solve
+            self._chol = None
+
+    @property
+    def singular(self) -> bool:
+        """True when ``E`` was not positive definite (lstsq fallback)."""
+        return self._chol is None
+
+    def coarse_solve(self, r: np.ndarray) -> np.ndarray:
+        """``E^-1 W^T r`` (least-squares pseudo-solve when E is singular).
+
+        Uses forward/back substitution on the triangular Cholesky factor —
+        O(k^2) per call, where the general ``np.linalg.solve`` would
+        re-factorize the (already triangular!) factor at O(k^3) on every
+        deflation application.
+        """
+        rhs = self.W.T @ r
+        if self._chol is not None:
+            y = solve_triangular(self._chol, rhs, lower=True)
+            return solve_triangular(self._chol.T, y, lower=False)
+        return np.linalg.lstsq(self.E, rhs, rcond=None)[0]
+
+    def deflate(self, r: np.ndarray) -> np.ndarray:
+        """``P r = r - A W E^-1 W^T r``."""
+        return r - self.AW @ self.coarse_solve(r)
+
+
+def deflated_cg(A: sparse.spmatrix, b: np.ndarray,
+                groups: Optional[np.ndarray] = None,
                 tol: float = 1e-8, maxiter: int = 500,
-                M: Optional[Callable[[np.ndarray], np.ndarray]] = None
-                ) -> SolveResult:
+                M: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                setup: Optional[DeflationSetup] = None) -> SolveResult:
     """Deflated (optionally preconditioned) CG for SPD ``A``.
 
     Parameters
@@ -55,33 +111,27 @@ def deflated_cg(A: sparse.spmatrix, b: np.ndarray, groups: np.ndarray,
         The SPD system.
     groups:
         (n,) int group id per unknown — the coarse space is one constant
-        vector per group (subdomain deflation).
+        vector per group (subdomain deflation).  May be omitted when a
+        prebuilt ``setup`` is passed.
     tol, maxiter, M:
         As in :func:`repro.solver.cg`.
+    setup:
+        Optional prebuilt :class:`DeflationSetup` for ``(A, groups)``.
+        Passing it skips the per-call coarse-space construction and
+        factorization entirely (the Alya amortization); the iteration is
+        unchanged, so the solution is bit-identical to a per-call setup.
     """
     n = len(b)
-    W = coarse_space_from_groups(groups)
-    AW = (A @ W.toarray())                        # (n, k)
-    E = W.T @ AW                                  # (k, k)
-    E = np.asarray(E)
-    try:
-        E_fact = np.linalg.cholesky(E)
-    except np.linalg.LinAlgError:
-        # singular coarse operator (e.g. fully regularized out): fall back
-        # to least squares
-        E_fact = None
-
-    def coarse_solve(r: np.ndarray) -> np.ndarray:
-        rhs = W.T @ r
-        if E_fact is not None:
-            y = np.linalg.solve(E_fact.T, np.linalg.solve(E_fact, rhs))
-        else:
-            y = np.linalg.lstsq(E, rhs, rcond=None)[0]
-        return y
+    if setup is None:
+        if groups is None:
+            raise TypeError("deflated_cg needs either groups or setup")
+        setup = DeflationSetup(A, groups)
+    W = setup.W
+    coarse_solve = setup.coarse_solve
 
     def deflate(r: np.ndarray) -> np.ndarray:
         """P r = r - A W E^-1 W^T r."""
-        return r - AW @ coarse_solve(r)
+        return setup.deflate(r)
 
     norm_b = np.linalg.norm(b)
     if norm_b == 0.0:

@@ -32,8 +32,17 @@ from typing import Callable, Optional
 import numpy as np
 from scipy import sparse
 
+from ..perf import toggles as _perf_toggles
+
+try:  # pragma: no cover - scipy always ships _sparsetools today
+    from scipy.sparse import _sparsetools as _st
+    _HAVE_CSR_MATVEC = hasattr(_st, "csr_matvec")
+except ImportError:  # pragma: no cover
+    _st = None
+    _HAVE_CSR_MATVEC = False
+
 __all__ = ["SolveResult", "SolverBreakdown", "cg", "bicgstab",
-           "jacobi_preconditioner"]
+           "jacobi_preconditioner", "krylov_workspace_stats"]
 
 #: residual-stagnation default: breakdown if no new best relative residual
 #: appears for this many consecutive iterations
@@ -101,6 +110,67 @@ def jacobi_preconditioner(A: sparse.spmatrix) -> Callable[[np.ndarray],
         return inv * r
 
     return apply
+
+
+#: reusable per-(core, size) iteration workspaces for the ``krylov_buffers``
+#: fast path; bounded so a sweep over many system sizes cannot grow it
+#: without limit (insertion order doubles as LRU order)
+_WORKSPACES: dict = {}
+_WORKSPACE_LIMIT = 8
+_WS_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def krylov_workspace_stats() -> dict:
+    """Counters of the buffered-core workspace cache (hits/misses/evictions).
+
+    Feeds :func:`repro.perf.instrument.fluid_counters`; resident entries is
+    the current number of cached (core, size) vector sets.
+    """
+    stats = dict(_WS_STATS)
+    stats["resident"] = len(_WORKSPACES)
+    return stats
+
+
+def _acquire_workspace(kind: str, n: int, names: tuple) -> dict:
+    """Check a per-(kind, n) vector set out of the cache (or allocate it).
+
+    The entry is *removed* from the cache while in use, so a re-entrant
+    solve of the same size (e.g. from a preconditioner or fault hook that
+    itself solves) allocates fresh buffers instead of corrupting the outer
+    iteration.
+    """
+    ws = _WORKSPACES.pop((kind, n), None)
+    if ws is None:
+        _WS_STATS["misses"] += 1
+        ws = {name: np.empty(n) for name in names}
+    else:
+        _WS_STATS["hits"] += 1
+    return ws
+
+
+def _release_workspace(kind: str, n: int, ws: dict) -> None:
+    """Return a vector set to the cache, evicting the oldest past the cap."""
+    _WORKSPACES[(kind, n)] = ws
+    while len(_WORKSPACES) > _WORKSPACE_LIMIT:
+        _WORKSPACES.pop(next(iter(_WORKSPACES)))
+        _WS_STATS["evictions"] += 1
+
+
+def _matvec(A, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """``out[:] = A @ x`` without allocating, bit-identical to ``A @ x``.
+
+    SciPy's CSR matvec accumulates row sums into a zero-initialized result
+    in nonzero order; calling the same kernel on a reused zeroed buffer
+    performs the identical floating-point operation sequence.  Non-CSR
+    operators fall back to the allocating product (values still identical).
+    """
+    if _HAVE_CSR_MATVEC and sparse.isspmatrix_csr(A):
+        out[...] = 0.0
+        _st.csr_matvec(A.shape[0], A.shape[1], A.indptr, A.indices,
+                       A.data, x, out)
+        return out
+    out[...] = A @ x
+    return out
 
 
 class _StagnationGuard:
@@ -247,6 +317,185 @@ def _bicgstab_core(A: sparse.spmatrix, b: np.ndarray,
                        residuals=residuals, matvecs=matvecs)
 
 
+def _cg_core_buffered(A: sparse.spmatrix, b: np.ndarray,
+                      x0: Optional[np.ndarray], tol: float, maxiter: int,
+                      M: Optional[Callable[[np.ndarray], np.ndarray]],
+                      fault: Optional[FaultHook],
+                      stagnation_window: int) -> SolveResult:
+    """Allocation-free CG core, bit-identical to :func:`_cg_core`.
+
+    The iteration vectors live in a cached per-size workspace; every axpy
+    is an ``out=`` pair (``np.multiply`` then ``np.add``/``np.subtract``)
+    performing the same scalar-times-element and element-plus-element
+    operations, in the same order, as the allocating expressions.
+    """
+    n = len(b)
+    norm_b = np.linalg.norm(b)
+    if norm_b == 0.0:
+        return SolveResult(x=np.zeros(n), converged=True, iterations=0,
+                           residuals=[0.0], matvecs=1)
+    ws = _acquire_workspace("cg", n, ("x", "r", "p", "Ap", "tmp"))
+    try:
+        x, r, p, Ap, tmp = ws["x"], ws["r"], ws["p"], ws["Ap"], ws["tmp"]
+        if x0 is None:
+            x[...] = 0.0
+        else:
+            np.copyto(x, x0)
+        _matvec(A, x, tmp)
+        np.subtract(b, tmp, out=r)
+        matvecs = 1
+        z = M(r) if M is not None else r
+        np.copyto(p, z)
+        rz = float(r @ z)
+        residuals = [float(np.linalg.norm(r) / norm_b)]
+        guard = _StagnationGuard(stagnation_window)
+        try:
+            for it in range(1, maxiter + 1):
+                _matvec(A, p, Ap)
+                matvecs += 1
+                pAp = float(p @ Ap)
+                if not np.isfinite(pAp):
+                    raise SolverBreakdown("nonfinite_residual", it)
+                if pAp <= 0:
+                    raise SolverBreakdown("indefinite_operator", it)
+                alpha = rz / pAp
+                np.multiply(p, alpha, out=tmp)
+                np.add(x, tmp, out=x)
+                np.multiply(Ap, alpha, out=tmp)
+                np.subtract(r, tmp, out=r)
+                if fault is not None:
+                    faulted = fault(it, r)
+                    if faulted is not r:
+                        np.copyto(r, faulted)
+                res = float(np.linalg.norm(r) / norm_b)
+                residuals.append(res)
+                guard.check(res, it)
+                if res < tol:
+                    return SolveResult(x=x.copy(), converged=True,
+                                       iterations=it, residuals=residuals,
+                                       matvecs=matvecs)
+                z = M(r) if M is not None else r
+                rz_new = float(r @ z)
+                beta = rz_new / rz
+                rz = rz_new
+                np.multiply(p, beta, out=tmp)
+                np.add(z, tmp, out=p)
+        except SolverBreakdown as exc:
+            exc.residuals = residuals
+            exc.matvecs = matvecs
+            raise
+        return SolveResult(x=x.copy(), converged=False, iterations=maxiter,
+                           residuals=residuals, matvecs=matvecs)
+    finally:
+        _release_workspace("cg", n, ws)
+
+
+def _bicgstab_core_buffered(A: sparse.spmatrix, b: np.ndarray,
+                            x0: Optional[np.ndarray], tol: float,
+                            maxiter: int,
+                            M: Optional[Callable[[np.ndarray], np.ndarray]],
+                            fault: Optional[FaultHook],
+                            stagnation_window: int) -> SolveResult:
+    """Allocation-free BiCGStab core, bit-identical to
+    :func:`_bicgstab_core`.
+
+    Compound updates decompose into the same elementary steps as the
+    allocating expressions: ``p = r + beta*(p - omega*v)`` becomes
+    ``tmp = omega*v; tmp = p - tmp; tmp = beta*tmp; p = r + tmp``, which
+    is the evaluation order NumPy uses for the one-liner.
+    """
+    n = len(b)
+    norm_b = np.linalg.norm(b)
+    if norm_b == 0.0:
+        return SolveResult(x=np.zeros(n), converged=True, iterations=0,
+                           residuals=[0.0], matvecs=1)
+    ws = _acquire_workspace(
+        "bicgstab", n,
+        ("x", "r", "rhat", "v", "p", "s", "t", "tmp", "tmp2"))
+    try:
+        x, r, r_hat = ws["x"], ws["r"], ws["rhat"]
+        v, p, s, t = ws["v"], ws["p"], ws["s"], ws["t"]
+        tmp, tmp2 = ws["tmp"], ws["tmp2"]
+        if x0 is None:
+            x[...] = 0.0
+        else:
+            np.copyto(x, x0)
+        _matvec(A, x, tmp)
+        np.subtract(b, tmp, out=r)
+        matvecs = 1
+        np.copyto(r_hat, r)
+        rho = alpha = omega = 1.0
+        v[...] = 0.0
+        p[...] = 0.0
+        residuals = [float(np.linalg.norm(r) / norm_b)]
+        guard = _StagnationGuard(stagnation_window)
+        try:
+            for it in range(1, maxiter + 1):
+                rho_new = float(r_hat @ r)
+                if not np.isfinite(rho_new):
+                    raise SolverBreakdown("nonfinite_residual", it)
+                if abs(rho_new) < 1e-300:
+                    raise SolverBreakdown("rho_breakdown", it)
+                beta = (rho_new / rho) * (alpha / omega) if it > 1 else 0.0
+                rho = rho_new
+                np.multiply(v, omega, out=tmp)
+                np.subtract(p, tmp, out=tmp)
+                np.multiply(tmp, beta, out=tmp)
+                np.add(r, tmp, out=p)
+                phat = M(p) if M is not None else p
+                _matvec(A, phat, v)
+                matvecs += 1
+                denom = float(r_hat @ v)
+                if abs(denom) < 1e-300:
+                    raise SolverBreakdown("orthogonality_breakdown", it)
+                alpha = rho / denom
+                np.multiply(v, alpha, out=tmp)
+                np.subtract(r, tmp, out=s)
+                if np.linalg.norm(s) / norm_b < tol:
+                    np.multiply(phat, alpha, out=tmp)
+                    np.add(x, tmp, out=x)
+                    residuals.append(float(np.linalg.norm(s) / norm_b))
+                    return SolveResult(x=x.copy(), converged=True,
+                                       iterations=it, residuals=residuals,
+                                       matvecs=matvecs)
+                shat = M(s) if M is not None else s
+                _matvec(A, shat, t)
+                matvecs += 1
+                tt = float(t @ t)
+                if not np.isfinite(tt):
+                    raise SolverBreakdown("nonfinite_residual", it)
+                if tt < 1e-300:
+                    raise SolverBreakdown("t_breakdown", it)
+                omega = float(t @ s) / tt
+                np.multiply(phat, alpha, out=tmp)
+                np.multiply(shat, omega, out=tmp2)
+                np.add(tmp, tmp2, out=tmp)
+                np.add(x, tmp, out=x)
+                np.multiply(t, omega, out=tmp)
+                np.subtract(s, tmp, out=r)
+                if fault is not None:
+                    faulted = fault(it, r)
+                    if faulted is not r:
+                        np.copyto(r, faulted)
+                res = float(np.linalg.norm(r) / norm_b)
+                residuals.append(res)
+                guard.check(res, it)
+                if res < tol:
+                    return SolveResult(x=x.copy(), converged=True,
+                                       iterations=it, residuals=residuals,
+                                       matvecs=matvecs)
+                if abs(omega) < 1e-300:
+                    raise SolverBreakdown("omega_breakdown", it)
+        except SolverBreakdown as exc:
+            exc.residuals = residuals
+            exc.matvecs = matvecs
+            raise
+        return SolveResult(x=x.copy(), converged=False, iterations=maxiter,
+                           residuals=residuals, matvecs=matvecs)
+    finally:
+        _release_workspace("bicgstab", n, ws)
+
+
 def _recovering(core, A, b, x0, tol, maxiter, M, fault,
                 retry_on_breakdown, stagnation_window) -> SolveResult:
     """Run ``core``; on breakdown, retry once re-preconditioned.
@@ -295,7 +544,9 @@ def cg(A: sparse.spmatrix, b: np.ndarray,
     residual each iteration (fault injection); breakdown triggers one
     re-preconditioned retry unless ``retry_on_breakdown`` is False.
     """
-    return _recovering(_cg_core, A, b, x0, tol, maxiter, M, fault,
+    core = (_cg_core_buffered if _perf_toggles.TOGGLES.krylov_buffers
+            else _cg_core)
+    return _recovering(core, A, b, x0, tol, maxiter, M, fault,
                        retry_on_breakdown, stagnation_window)
 
 
@@ -310,5 +561,7 @@ def bicgstab(A: sparse.spmatrix, b: np.ndarray,
 
     Same breakdown/recovery contract as :func:`cg`.
     """
-    return _recovering(_bicgstab_core, A, b, x0, tol, maxiter, M, fault,
+    core = (_bicgstab_core_buffered if _perf_toggles.TOGGLES.krylov_buffers
+            else _bicgstab_core)
+    return _recovering(core, A, b, x0, tol, maxiter, M, fault,
                        retry_on_breakdown, stagnation_window)

@@ -6,8 +6,8 @@ from scipy import sparse
 
 from repro.fem import assemble_operator
 from repro.partition import rcb_partition
-from repro.solver import cg, coarse_space_from_groups, deflated_cg, \
-    jacobi_preconditioner
+from repro.solver import DeflationSetup, cg, coarse_space_from_groups, \
+    deflated_cg, jacobi_preconditioner
 from tests.test_fem import unit_cube_tets
 
 
@@ -91,3 +91,63 @@ class TestDeflatedCG:
             its.append(deflated_cg(A, b, groups, tol=1e-8,
                                    maxiter=2000).iterations)
         assert its[2] < its[0]
+
+    def test_needs_groups_or_setup(self, poisson_system):
+        A, b, _ = poisson_system
+        with pytest.raises(TypeError, match="groups or setup"):
+            deflated_cg(A, b)
+
+
+class TestDeflationSetup:
+    def test_cached_setup_solution_bit_identical(self, poisson_system):
+        """The whole contract of setup reuse: the iteration is unchanged,
+        so a shared setup reproduces the per-call-setup solve exactly."""
+        A, b, groups = poisson_system
+        setup = DeflationSetup(A, groups)
+        per_call = deflated_cg(A, b, groups, tol=1e-9, maxiter=2000)
+        for _ in range(3):
+            shared = deflated_cg(A, b, tol=1e-9, maxiter=2000, setup=setup)
+            assert shared.x.tobytes() == per_call.x.tobytes()
+            assert shared.iterations == per_call.iterations
+            assert shared.residuals == per_call.residuals
+
+    def test_coarse_blocks_stay_sparse(self, poisson_system):
+        """Regression for the dense coarse block: W and AW must be sparse
+        and no dense (n, k) intermediate may materialize during a solve
+        (the original formulation went through ``W.toarray()``)."""
+        A, b, groups = poisson_system
+        setup = DeflationSetup(A, groups)
+        assert sparse.issparse(setup.W)
+        assert sparse.issparse(setup.AW)
+        assert setup.AW.shape == setup.W.shape
+
+        def boom(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("dense (n, k) coarse block materialized")
+
+        setup.W.toarray = boom
+        setup.AW.toarray = boom
+        res = deflated_cg(A, b, tol=1e-8, maxiter=2000, setup=setup)
+        assert res.converged
+
+    def test_singular_coarse_operator_lstsq_fallback(self, poisson_system):
+        """An empty coarse group gives W a zero column, so E is exactly
+        singular: the setup must fall back to least squares instead of
+        raising, and the solve must still converge."""
+        A, b, groups = poisson_system
+        setup = DeflationSetup(A, groups, ngroups=int(groups.max()) + 2)
+        assert setup.singular
+        res = deflated_cg(A, b, tol=1e-8, maxiter=2000, setup=setup)
+        assert res.converged
+        assert np.linalg.norm(A @ res.x - b) / np.linalg.norm(b) < 1e-7
+
+    def test_nonsingular_setup_uses_cholesky(self, poisson_system):
+        A, _, groups = poisson_system
+        setup = DeflationSetup(A, groups)
+        assert not setup.singular
+
+    def test_zero_rhs_with_setup(self, poisson_system):
+        A, _, groups = poisson_system
+        setup = DeflationSetup(A, groups)
+        res = deflated_cg(A, np.zeros(A.shape[0]), setup=setup)
+        assert res.converged and res.iterations == 0
+        assert np.allclose(res.x, 0.0)

@@ -81,9 +81,9 @@ def default_digests(tmp_path_factory):
 
 
 class TestPerToggleBisection:
-    """Each PR 3 / PR 4 / PR 7 toggle can be flipped off alone without
-    changing any simulated result — the property the bisection workflow
-    relies on."""
+    """Each PR 3 / PR 4 / PR 7 / PR 8 toggle can be flipped off alone
+    without changing any simulated result — the property the bisection
+    workflow relies on."""
 
     @pytest.mark.parametrize("toggle", ["geometry_cache", "operator_split",
                                         "scheduler_heap",
@@ -91,7 +91,10 @@ class TestPerToggleBisection:
                                         "particle_warm_start",
                                         "particle_compaction",
                                         "particle_fused_step",
-                                        "engine_batch"])
+                                        "engine_batch",
+                                        "fluid_operator_recycle",
+                                        "deflation_setup_cache",
+                                        "krylov_buffers"])
     @pytest.mark.parametrize("name", sorted(CONFIGS))
     def test_single_toggle_off_is_identical(self, toggle, name, tmp_path,
                                             default_digests):
