@@ -47,7 +47,7 @@ EXIT_KILLED = 3
 
 
 def _spec_from(args) -> WorkloadSpec:
-    kwargs = {}
+    kwargs = _adaptive_overrides(args)
     if args.generations is not None:
         kwargs["generations"] = args.generations
     if args.steps is not None:
@@ -57,10 +57,22 @@ def _spec_from(args) -> WorkloadSpec:
     return WorkloadSpec(**kwargs)
 
 
+def _adaptive_overrides(args) -> dict:
+    """The adaptive-Δt workload flags the user actually set."""
+    kwargs = {}
+    if getattr(args, "adaptive", None) is not None:
+        kwargs["adaptive"] = args.adaptive
+    if getattr(args, "cfl_target", None) is not None:
+        kwargs["cfl_target"] = args.cfl_target
+    if getattr(args, "waveform", None) is not None:
+        kwargs["inlet_waveform"] = args.waveform
+    return kwargs
+
+
 def _spec_overrides(args) -> dict:
     """Only the workload fields the user actually set — campaigns keep
     their built-in defaults (e.g. fig10's large load) otherwise."""
-    kwargs = {}
+    kwargs = _adaptive_overrides(args)
     if args.generations is not None:
         kwargs["generations"] = args.generations
     if args.steps is not None:
@@ -71,7 +83,8 @@ def _spec_overrides(args) -> dict:
 
 
 def _workload_parent() -> argparse.ArgumentParser:
-    """Shared ``--generations/--steps/--large`` flags (argparse parent)."""
+    """Shared workload flags (argparse parent): size, particle load and
+    adaptive time stepping."""
     p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--generations", type=int, default=None,
                    help="airway tree depth (default 5; paper 7)")
@@ -79,6 +92,15 @@ def _workload_parent() -> argparse.ArgumentParser:
                    help="time steps to simulate (default 10)")
     p.add_argument("--large", action="store_true",
                    help="use the 7e6-scaled particle load (default 4e5)")
+    p.add_argument("--adaptive", default=None,
+                   choices=["off", "global", "local"],
+                   help="CFL-driven adaptive time stepping (default off)")
+    p.add_argument("--cfl-target", type=float, default=None,
+                   help="target CFL number of the adaptive controller "
+                        "(default 0.9)")
+    p.add_argument("--waveform", default=None,
+                   choices=["steady", "ramp", "sine"],
+                   help="transient inlet waveform (default steady)")
     return p
 
 
@@ -93,6 +115,15 @@ def _cmd_experiment(name: str, args) -> int:
     from . import experiments as exp
 
     spec = _spec_from(args)
+    if name == "adaptive":
+        # transient defaults: a steady 10-step run has nothing for the
+        # controller to do — unless the user asked for exactly that
+        import dataclasses
+
+        if args.waveform is None:
+            spec = dataclasses.replace(spec, inlet_waveform="sine")
+        if args.steps is None:
+            spec = dataclasses.replace(spec, n_steps=32)
     runner = {
         "table1": lambda: exp.run_table1(spec=spec),
         "fig6": lambda: exp.run_fig6(spec=spec),
@@ -102,6 +133,7 @@ def _cmd_experiment(name: str, args) -> int:
         "fig10": lambda: exp.run_fig10(spec=spec),
         "fig11": lambda: exp.run_fig11(spec=spec),
         "ipc": lambda: exp.run_ipc_counters(spec=spec),
+        "adaptive": lambda: exp.run_adaptive_dlb(spec=spec),
     }[name]
     result = runner()
     if args.json:
@@ -146,8 +178,14 @@ def _cmd_run(args) -> int:
     print(f"workload: {workload.mesh}, {workload.total_injected} particles")
     print(f"config:   {config.label()} on {args.cluster}, "
           f"{args.nranks}x{args.threads}")
-    print(f"total simulated time: {result.total_time * 1e3:.3f} ms "
-          f"({spec.n_steps} steps)")
+    n_sim = result.adaptive_diag.get("n_sim_steps", spec.n_steps)
+    if spec.adaptive != "off":
+        print(f"total simulated time: {result.total_time * 1e3:.3f} ms "
+              f"({n_sim} steps, {spec.adaptive} adaptive, "
+              f"{spec.n_steps} fixed)")
+    else:
+        print(f"total simulated time: {result.total_time * 1e3:.3f} ms "
+              f"({spec.n_steps} steps)")
     for row in result.phase_summary():
         print(f"  {row['phase']:10s} L={row['load_balance']:.2f} "
               f"{row['percent_time']:5.1f}%")
@@ -388,9 +426,11 @@ def main(argv=None) -> int:
     workload_parent = _workload_parent()
 
     for name in ("table1", "fig6", "fig7", "fig8", "fig9", "fig10",
-                 "fig11", "ipc"):
-        p = sub.add_parser(name, parents=[workload_parent],
-                           help=f"regenerate {name}")
+                 "fig11", "ipc", "adaptive"):
+        p = sub.add_parser(
+            name, parents=[workload_parent],
+            help=("adaptive Δt x DLB interaction study"
+                  if name == "adaptive" else f"regenerate {name}"))
         p.add_argument("--json", action="store_true",
                        help="emit structured rows as JSON")
 

@@ -32,6 +32,7 @@ from ..core import (
     build_element_loop_graph,
     build_parallel_for_graph,
 )
+from ..fem.fractional_step import FLUID_COUNTERS
 from ..machine import get_cluster
 from ..perf import toggles as _perf_toggles
 from ..smpi import RankDeadError, World
@@ -148,6 +149,10 @@ class RunResult:
     #: event/cohort/arena/plan counters.  Wall-clock instrumentation only —
     #: never part of the simulated digest or the checkpoint bytes.
     engine_diag: dict = field(default_factory=dict)
+    #: adaptive-Δt schedule diagnostics (Workload.schedule_summary): mode,
+    #: steps taken vs the fixed grid, Δt values, max CFL, and — in local
+    #: mode — subcycle totals and imbalance.  Empty for fixed-Δt runs.
+    adaptive_diag: dict = field(default_factory=dict)
 
     def mpi_seconds_by_rank(self):
         """Blocking-MPI time per rank (needs collect_mpi_trace=True)."""
@@ -215,11 +220,14 @@ class _RunContext:
         self.start_step = start_step
         #: degrade instead of failing when a peer dies mid-exchange
         self.fault_tolerant = fault_tolerant
+        #: global steps of the run — the Δt schedule length (== spec.n_steps
+        #: for fixed Δt, fewer under the adaptive modes)
+        self.n_steps = workload.n_sim_steps
         #: steps opening with a coordinated checkpoint barrier.  Steps at or
         #: before ``start_step`` are excluded so a restarted run does not
         #: re-checkpoint its own entry point.
         self.checkpoint_steps = {
-            s for s in range(1, self.spec.n_steps)
+            s for s in range(1, self.n_steps)
             if config.checkpoint_every
             and s % config.checkpoint_every == 0 and s > start_step}
         #: (step, rank, dead_neighbor) halo exchanges that were degraded
@@ -244,6 +252,10 @@ class _RunContext:
             min_shared_nodes=config.subdomain_min_shared)
         hist = workload.particle_histograms(particle_n,
                                             method=config.partition_method)
+        #: (n_steps, fluid ranks) fluid subcycles — all ones unless the
+        #: spec runs in local adaptive mode
+        self.subcycles = workload.subcycle_matrix(
+            fluid_n, method=config.partition_method)
         cluster = get_cluster(config.cluster, config.num_nodes)
         particle_chunks = 2 * cluster.node.cores
         self.solver_info = workload.solve_fluid_step()
@@ -317,7 +329,7 @@ class _RunContext:
         self.particles = []
         for pr in range(particle_n):
             per_step = []
-            for s in range(self.spec.n_steps):
+            for s in range(self.n_steps):
                 count = int(hist[s, pr])
                 per_step.append(build_parallel_for_graph(
                     np.full(count, costs.particle_instr), nthreads,
@@ -327,7 +339,7 @@ class _RunContext:
         # bound for what crosses rank boundaries)
         self.migration_bytes = [
             max(1.0, hist[s].sum() * costs.particle_bytes / max(1, particle_n))
-            for s in range(self.spec.n_steps)]
+            for s in range(self.n_steps)]
         # coupled-mode exchange topology
         self.sends = None
         self.recvs = None
@@ -350,8 +362,8 @@ class _RunContext:
 # rank programs
 # ---------------------------------------------------------------------------
 
-def _run_phase(ctx: _RunContext, comm, team, step, phase, graph):
-    stats = yield from team.run(graph)
+def _run_phase(ctx: _RunContext, comm, team, step, phase, graph, repeats=1):
+    stats = yield from team.run(graph, repeats=repeats)
     ctx.log.add(step, phase, comm.rank, stats.t_start, stats.t_end,
                 stats.busy_seconds, stats.instructions)
     return stats
@@ -391,29 +403,39 @@ def _halo_exchange(ctx: _RunContext, sub_comm, local_rank, tag, step=0):
 
 def _fluid_phases(ctx: _RunContext, world_comm, sub_comm, team, local_rank,
                   step):
-    """Assembly, solvers and SGS of one step (shared by both modes).
+    """Assembly, solvers and SGS of one global step (shared by both modes).
 
     Synchronization structure follows Alya: the assembly ends with a
     point-to-point halo exchange (neighbour-local sync only); the first
     global synchronization of each solver is its initial residual-norm
     allreduce, which precedes the iteration work — so waiting for slower
     ranks is accounted as MPI time, not as solver time.
+
+    Local adaptive mode subcycles: a rank on a finer Δt rung than the
+    global step repeats the *compute* graphs once per subcycle while the
+    communication pattern (halo + residual allreduces) stays once per
+    global step — every rank issues the same collective sequence, so the
+    runs match, and the per-rank, per-step repeat counts are exactly the
+    shifting imbalance the DLB study measures.
     """
+    reps = int(ctx.subcycles[step, local_rank])
+    if reps > 1:
+        FLUID_COUNTERS["adaptive_subcycles"] += reps - 1
     yield from _run_phase(ctx, world_comm, team, step, "assembly",
-                          ctx.assembly[local_rank])
+                          ctx.assembly[local_rank], repeats=reps)
     yield from _halo_exchange(ctx, sub_comm, local_rank, tag=1000 + step,
                               step=step)
     yield from sub_comm.allreduce(
         0.0, nbytes=16.0 * ctx.costs.solver1_iterations)
     yield from _run_phase(ctx, world_comm, team, step, "solver1",
-                          ctx.solver1[local_rank])
+                          ctx.solver1[local_rank], repeats=reps)
     yield from sub_comm.allreduce(
         0.0, nbytes=16.0 * ctx.costs.solver2_iterations)
     yield from _run_phase(ctx, world_comm, team, step, "solver2",
-                          ctx.solver2[local_rank])
+                          ctx.solver2[local_rank], repeats=reps)
     yield from sub_comm.allreduce(0.0, nbytes=8.0)
     yield from _run_phase(ctx, world_comm, team, step, "sgs",
-                          ctx.sgs[local_rank])
+                          ctx.sgs[local_rank], repeats=reps)
     yield from sub_comm.allreduce(0.0, nbytes=8.0)
 
 
@@ -433,7 +455,7 @@ def _checkpoint_barrier(ctx: _RunContext, comm, step):
 
 def _sync_program(comm, ctx: _RunContext):
     team = ctx.teams[comm.rank]
-    for step in range(ctx.start_step, ctx.spec.n_steps):
+    for step in range(ctx.start_step, ctx.n_steps):
         if step in ctx.checkpoint_steps:
             yield from _checkpoint_barrier(ctx, comm, step)
         yield from _fluid_phases(ctx, comm, comm, team, comm.rank, step)
@@ -448,7 +470,7 @@ def _coupled_fluid_program(comm, ctx: _RunContext, sub_comm):
     team = ctx.teams[comm.rank]
     local = comm.rank  # fluid world ranks are 0..f-1
     dead = comm.world.dead_ranks
-    for step in range(ctx.start_step, ctx.spec.n_steps):
+    for step in range(ctx.start_step, ctx.n_steps):
         if step in ctx.checkpoint_steps:
             yield from _checkpoint_barrier(ctx, comm, step)
         yield from _fluid_phases(ctx, comm, sub_comm, team, local, step)
@@ -464,7 +486,7 @@ def _coupled_particle_program(comm, ctx: _RunContext, sub_comm):
     team = ctx.teams[comm.rank]
     local = comm.rank - ctx.config.fluid_ranks
     dead = comm.world.dead_ranks
-    for step in range(ctx.start_step, ctx.spec.n_steps):
+    for step in range(ctx.start_step, ctx.n_steps):
         if step in ctx.checkpoint_steps:
             yield from _checkpoint_barrier(ctx, comm, step)
         reqs = [comm.irecv(source=fi, tag=step) for fi in ctx.recvs[local]
@@ -652,6 +674,12 @@ def run_cfpd(config: RunConfig,
         raise ValueError(f"unknown mode {config.mode!r}")
     world.run(procs)
     from ..perf.instrument import engine_counters
+    adaptive_diag = {}
+    if wl.spec.adaptive != "off":
+        fluid_n = config.nranks if config.mode == "sync" \
+            else config.fluid_ranks
+        adaptive_diag = wl.schedule_summary(
+            nranks=fluid_n, method=config.partition_method)
     return RunResult(config=config,
                      total_time=engine.now,
                      phase_log=ctx.log,
@@ -662,4 +690,5 @@ def run_cfpd(config: RunConfig,
                      tracer=tracer,
                      faults=injector,
                      checkpoints=checkpoints,
-                     engine_diag=engine_counters(engine))
+                     engine_diag=engine_counters(engine),
+                     adaptive_diag=adaptive_diag)

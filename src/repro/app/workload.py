@@ -21,7 +21,17 @@ from typing import Optional
 
 import numpy as np
 
-from ..fem import SGSState, assemble_operator, element_work_meters, update_sgs
+from ..fem import (
+    CflController,
+    DtLadder,
+    SGSState,
+    assemble_operator,
+    element_cfl_rates,
+    element_sizes,
+    element_work_meters,
+    geometry_blocks,
+    update_sgs,
+)
 from ..mesh import AirwayConfig, MeshResolution, build_airway_mesh
 from ..mesh.generator import AirwayMesh
 from ..partition import Decomposition, decompose_mesh, greedy_coloring
@@ -37,8 +47,8 @@ from ..particles import (
 from ..solver import bicgstab, cg, jacobi_preconditioner
 from .costs import CostModel, DEFAULT_COSTS
 
-__all__ = ["WorkloadSpec", "Workload", "RankWork", "get_workload",
-           "SMALL_PARTICLE_RATIO", "LARGE_PARTICLE_RATIO"]
+__all__ = ["WorkloadSpec", "Workload", "RankWork", "StepPlan",
+           "get_workload", "SMALL_PARTICLE_RATIO", "LARGE_PARTICLE_RATIO"]
 
 #: The paper's particle:element ratios — 4e5 and 7e6 particles in a
 #: 17.7M-element mesh.  Scaled workloads keep these ratios.
@@ -63,6 +73,38 @@ class WorkloadSpec:
     #: the paper's pollutant-inhalation scenario injects "several times
     #: during the simulation")
     injection_interval: int = 0
+    #: adaptive time stepping: ``"off"`` runs ``n_steps`` fixed steps of
+    #: ``dt``; ``"global"`` walks one CFL-driven Δt ladder to the same
+    #: simulated endpoint ``t_end`` in fewer steps; ``"local"`` takes
+    #: global steps at the top rung with deterministic per-rank subcycling
+    #: (see :meth:`Workload.subcycle_matrix`)
+    adaptive: str = "off"
+    #: target CFL number of the adaptive controller
+    cfl_target: float = 0.9
+    #: ladder rungs *above* ``dt``: admissible steps are
+    #: ``dt * dt_ladder_ratio**k`` for ``k = 0..dt_ladder_rungs``
+    dt_ladder_rungs: int = 3
+    dt_ladder_ratio: float = 2.0
+    #: inlet transient driving the CFL rate over time: ``"steady"``
+    #: (scale 1), ``"ramp"`` (0.2 + 0.8 t/T) or ``"sine"``
+    #: (0.6 + 0.4 sin(2pi t/T))
+    inlet_waveform: str = "steady"
+
+    def __post_init__(self):
+        if self.adaptive not in ("off", "global", "local"):
+            raise ValueError("adaptive must be 'off', 'global' or 'local', "
+                             f"got {self.adaptive!r}")
+        if self.inlet_waveform not in ("steady", "ramp", "sine"):
+            raise ValueError("inlet_waveform must be 'steady', 'ramp' or "
+                             f"'sine', got {self.inlet_waveform!r}")
+        if self.cfl_target <= 0:
+            raise ValueError(f"cfl_target must be > 0, got {self.cfl_target}")
+        if self.dt_ladder_rungs < 1:
+            raise ValueError("dt_ladder_rungs must be >= 1, "
+                             f"got {self.dt_ladder_rungs}")
+        if self.dt_ladder_ratio <= 1.0:
+            raise ValueError("dt_ladder_ratio must be > 1, "
+                             f"got {self.dt_ladder_ratio}")
 
     def particle_count(self, nelem: int) -> int:
         """Particles injected *per injection* for a mesh of ``nelem``
@@ -70,10 +112,47 @@ class WorkloadSpec:
         return max(1, int(round(self.particle_ratio * nelem)))
 
     def injection_steps(self) -> list[int]:
-        """Steps at which a fresh population enters through the nose."""
+        """Fixed-grid steps at which a fresh population enters through the
+        nose (adaptive runs map these onto schedule steps by simulated
+        time; see :meth:`Workload.injection_step_set`)."""
         if self.injection_interval <= 0:
             return [0]
         return list(range(0, self.n_steps, self.injection_interval))
+
+    # -- adaptive schedule inputs -----------------------------------------
+    @property
+    def t_end(self) -> float:
+        """Simulated endpoint: the fixed-grid horizon ``n_steps * dt``.
+
+        Every adaptive mode integrates to exactly this time — adaptivity
+        changes *how many steps* it takes, never *where* the run ends.
+        """
+        return self.n_steps * self.dt
+
+    def ladder(self) -> DtLadder:
+        """The spec's Δt ladder, anchored at ``dt`` (the finest rung)."""
+        return DtLadder(
+            dt_min=self.dt,
+            dt_max=self.dt * self.dt_ladder_ratio ** self.dt_ladder_rungs,
+            ratio=self.dt_ladder_ratio)
+
+    def controller(self) -> CflController:
+        """The deterministic CFL controller of the adaptive modes."""
+        return CflController(cfl_target=self.cfl_target,
+                             ladder=self.ladder())
+
+    def waveform_scale(self, t: float) -> float:
+        """Inlet-magnitude scale at simulated time ``t``.
+
+        Drives the time-varying CFL rate — and, in local mode, the
+        per-rank subcycle counts whose shifting profile the DLB study
+        targets.  A pure function of ``(spec, t)``: bit-reproducible.
+        """
+        if self.inlet_waveform == "ramp":
+            return 0.2 + 0.8 * (t / self.t_end)
+        if self.inlet_waveform == "sine":
+            return 0.6 + 0.4 * float(np.sin(2.0 * np.pi * t / self.t_end))
+        return 1.0
 
 
 @dataclass
@@ -103,6 +182,23 @@ class DecompData:
     labels: np.ndarray
 
 
+@dataclass(frozen=True)
+class StepPlan:
+    """One entry of the Δt schedule (a global step of the simulation).
+
+    ``rung`` is -1 for fixed-Δt steps and for the final clipped step of an
+    adaptive run (which lands exactly on ``t_end`` with an off-ladder Δt);
+    ``cfl`` is the global CFL number ``scale(t) * max_rate * dt`` of the
+    step; ``scale`` the inlet waveform factor at the step start.
+    """
+
+    t: float
+    dt: float
+    rung: int
+    cfl: float
+    scale: float
+
+
 class Workload:
     """All numeric state shared by the experiment configurations."""
 
@@ -123,6 +219,9 @@ class Workload:
         self._histograms: dict = {}
         self._fluid_solution: Optional[dict] = None
         self._sgs_norms: Optional[list] = None
+        self._schedule: Optional[list] = None
+        self._element_rates: Optional[np.ndarray] = None
+        self._subcycles: dict = {}
 
     # -- decompositions -------------------------------------------------------
     def decomposition(self, nranks: int, subdomains_per_rank: int = 64,
@@ -211,6 +310,153 @@ class Workload:
                               weights=row_nnz.astype(np.float64))
         return row_nnz, owner
 
+    # -- adaptive Δt schedule -----------------------------------------------
+    def element_rates(self) -> np.ndarray:
+        """(nelem,) CFL rates ``|u_e| / h_e`` of the steady flow field.
+
+        The time-varying rate of the transient run is
+        ``waveform_scale(t) * element_rates()`` — the inlet waveform scales
+        the whole field uniformly, so one cached element sweep serves every
+        step of the schedule.
+        """
+        if self._element_rates is None:
+            self._element_rates = element_cfl_rates(
+                self.nodal_velocity, geometry_blocks(self.mesh),
+                self.mesh.nelem)
+        return self._element_rates
+
+    def dt_schedule(self) -> list[StepPlan]:
+        """The (cached) deterministic Δt schedule of the run.
+
+        ``off``: ``n_steps`` fixed steps of ``spec.dt`` — bit-identical to
+        the pre-adaptive behaviour.  ``global``: the CFL controller walks
+        the ladder against ``waveform_scale(t) * max_rate``, reaching the
+        same endpoint ``t_end`` in fewer steps.  ``local``: global steps at
+        the ladder's top rung (per-rank refinement happens *inside* each
+        global step via :meth:`subcycle_matrix`, keeping the collective
+        pattern identical on every rank).  The final adaptive step is
+        clipped to land exactly on ``t_end``.
+        """
+        if self._schedule is not None:
+            return self._schedule
+        spec = self.spec
+        rate_max = float(self.element_rates().max(initial=0.0))
+        if spec.adaptive == "off":
+            self._schedule = [
+                StepPlan(t=s * spec.dt, dt=spec.dt, rung=-1,
+                         cfl=rate_max * spec.dt, scale=1.0)
+                for s in range(spec.n_steps)]
+            return self._schedule
+        ladder = spec.ladder()
+        control = spec.controller()
+        t_end = spec.t_end
+        plans: list[StepPlan] = []
+        t = 0.0
+        rung = ladder.top
+        while t_end - t > 1e-9 * t_end:
+            scale = spec.waveform_scale(t)
+            rate = scale * rate_max
+            if spec.adaptive == "global":
+                rung = control.rung_for(rate, rung)
+            dt = ladder.dt_of(rung)
+            clipped = min(dt, t_end - t)
+            plans.append(StepPlan(
+                t=t, dt=clipped,
+                rung=rung if clipped == dt else -1,
+                cfl=rate * clipped, scale=scale))
+            t += clipped
+        self._schedule = plans
+        return plans
+
+    @property
+    def n_sim_steps(self) -> int:
+        """Steps the schedule actually takes to reach ``t_end``."""
+        return len(self.dt_schedule())
+
+    def injection_step_set(self) -> set:
+        """Schedule indices that inject a fresh particle population.
+
+        Fixed-grid injection steps are mapped onto the schedule by
+        simulated time (the first schedule step starting at or after the
+        nominal injection time); in ``off`` mode this is exactly
+        ``spec.injection_steps()``.
+        """
+        spec = self.spec
+        if spec.adaptive == "off":
+            return set(spec.injection_steps())
+        starts = [plan.t for plan in self.dt_schedule()]
+        eps = 1e-9 * spec.t_end
+        out = set()
+        for s in spec.injection_steps():
+            t_inj = s * spec.dt
+            idx = len(starts) - 1
+            for i, t0 in enumerate(starts):
+                if t0 >= t_inj - eps:
+                    idx = i
+                    break
+            out.add(idx)
+        return out
+
+    def subcycle_matrix(self, nranks: int, method: str = "rcb"
+                        ) -> np.ndarray:
+        """(n_sim_steps, nranks) fluid subcycles per rank per global step.
+
+        All ones except in ``local`` mode, where each rank walks its own
+        rung ladder against ``waveform_scale(t) * max(element_rates)`` over
+        its elements and subcycles ``dt_global / dt_rank`` times inside the
+        global step — compute repeats, while the halo/allreduce pattern
+        stays once per global step, so collectives keep matching across
+        ranks.  The time-varying, rank-varying counts are the shifting
+        imbalance profile of the DLB interaction study.
+        """
+        key = (nranks, method)
+        if key in self._subcycles:
+            return self._subcycles[key]
+        schedule = self.dt_schedule()
+        sub = np.ones((len(schedule), nranks), dtype=np.int64)
+        if self.spec.adaptive == "local":
+            labels = self.decomposition(nranks, method=method).labels
+            rates = self.element_rates()
+            rank_rate = np.zeros(nranks)
+            for r in range(nranks):
+                mine = rates[labels == r]
+                rank_rate[r] = float(mine.max()) if len(mine) else 0.0
+            ladder = self.spec.ladder()
+            control = self.spec.controller()
+            rungs = np.full(nranks, ladder.top, dtype=np.int64)
+            for s, plan in enumerate(schedule):
+                for r in range(nranks):
+                    rungs[r] = control.rung_for(plan.scale * rank_rate[r],
+                                                int(rungs[r]))
+                    sub[s, r] = max(
+                        1, int(round(plan.dt / ladder.dt_of(int(rungs[r])))))
+        self._subcycles[key] = sub
+        return sub
+
+    def schedule_summary(self, nranks: Optional[int] = None,
+                         method: str = "rcb") -> dict:
+        """Diagnostics of the adaptive schedule (for ``RunResult``)."""
+        schedule = self.dt_schedule()
+        spec = self.spec
+        out = {
+            "mode": spec.adaptive,
+            "waveform": spec.inlet_waveform,
+            "n_sim_steps": len(schedule),
+            "fixed_steps": spec.n_steps,
+            "steps_saved": spec.n_steps - len(schedule),
+            "t_end": spec.t_end,
+            "dt_values": sorted({plan.dt for plan in schedule}),
+            "max_cfl": max(plan.cfl for plan in schedule),
+            "h_min": float(element_sizes(self.mesh).min()),
+        }
+        if nranks is not None and spec.adaptive == "local":
+            sub = self.subcycle_matrix(nranks, method=method)
+            out["subcycles_total"] = int(sub.sum())
+            out["subcycles_max"] = int(sub.max())
+            out["subcycle_imbalance"] = float(
+                sub.max(axis=1).mean() / max(sub.mean(), 1e-30))
+        return out
+
     # -- real numerics ------------------------------------------------------
     def operators(self) -> dict:
         """The (cached) globally assembled momentum/continuity operators."""
@@ -267,9 +513,9 @@ class Workload:
         if self._sgs_norms is None:
             state = SGSState.zeros(self.mesh.nelem)
             norms = []
-            for _ in range(self.spec.n_steps):
+            for plan in self.dt_schedule():
                 update_sgs(self.mesh, state, self.nodal_velocity,
-                           viscosity=1.9e-5, dt=self.spec.dt)
+                           viscosity=1.9e-5, dt=plan.dt)
                 norms.append(float(np.linalg.norm(state.values)))
             self._sgs_norms = norms
         return self._sgs_norms
@@ -279,13 +525,13 @@ class Workload:
         """Per step: (positions of active particles at step start, state
         snapshot counts).  Computed once with the real tracker."""
         if self._trajectory is None:
-            injection_steps = set(self.spec.injection_steps())
+            injection_steps = self.injection_step_set()
             state = ParticleState.empty()
             tracker = NewmarkTracker(self.flow,
                                      particles=ParticleProperties(),
                                      fluid=FluidProperties())
             steps = []
-            for s in range(self.spec.n_steps):
+            for s, plan in enumerate(self.dt_schedule()):
                 if s in injection_steps:
                     state.extend(inject_at_inlet(
                         self.airway, self.n_particles,
@@ -293,7 +539,7 @@ class Workload:
                 act = state.active
                 steps.append({"positions": state.x[act].copy(),
                               "counts": state.counts()})
-                tracker.step(state, self.spec.dt)
+                tracker.step(state, plan.dt)
             self._final_particle_state = state
             self._trajectory = steps
         return self._trajectory
@@ -305,23 +551,23 @@ class Workload:
         Used by checkpointing: the state is a pure function of the spec,
         so a restarted run can verify a checkpoint bit-for-bit.
         """
-        injection_steps = set(self.spec.injection_steps())
+        injection_steps = self.injection_step_set()
         state = ParticleState.empty()
         tracker = NewmarkTracker(self.flow,
                                  particles=ParticleProperties(),
                                  fluid=FluidProperties())
-        for s in range(step):
+        for s, plan in enumerate(self.dt_schedule()[:step]):
             if s in injection_steps:
                 state.extend(inject_at_inlet(
                     self.airway, self.n_particles,
                     seed=self.spec.injection_seed + s))
-            tracker.step(state, self.spec.dt)
+            tracker.step(state, plan.dt)
         return state
 
     @property
     def total_injected(self) -> int:
         """Particles injected over the whole run (all injections)."""
-        return self.n_particles * len(self.spec.injection_steps())
+        return self.n_particles * len(self.injection_step_set())
 
     def deposition_summary(self) -> dict:
         """Particle status counts after the last step."""
@@ -330,12 +576,12 @@ class Workload:
 
     def particle_histograms(self, nranks: int, method: str = "rcb"
                             ) -> np.ndarray:
-        """(n_steps, nranks) active-particle counts per owning rank."""
+        """(n_sim_steps, nranks) active-particle counts per owning rank."""
         key = (nranks, method)
         if key not in self._histograms:
             data = self.decomposition(nranks, method=method)
             locator = ElementLocator(self.airway, data.labels)
-            hist = np.zeros((self.spec.n_steps, nranks), dtype=np.int64)
+            hist = np.zeros((self.n_sim_steps, nranks), dtype=np.int64)
             for s, step in enumerate(self.trajectory()):
                 pos = step["positions"]
                 if len(pos):

@@ -46,6 +46,7 @@ from .executor import (
 )
 from .figures import (
     BUILTIN_CAMPAIGNS,
+    adaptive_dlb_campaign,
     ci_smoke_campaign,
     demo_campaign,
     dlb_figure_campaign,

@@ -19,8 +19,8 @@ from ..core import Strategy
 from .spec import CampaignSpec
 
 __all__ = ["BUILTIN_CAMPAIGNS", "CLUSTER_TOTALS", "COUPLED_SPLITS",
-           "ci_smoke_campaign", "demo_campaign", "dlb_figure_campaign",
-           "get_campaign", "hybrid_sweep_campaign"]
+           "adaptive_dlb_campaign", "ci_smoke_campaign", "demo_campaign",
+           "dlb_figure_campaign", "get_campaign", "hybrid_sweep_campaign"]
 
 #: Total cores used per cluster in the paper's Fig. 6/7 sweeps.
 CLUSTER_TOTALS = {"marenostrum4": 96, "thunder": 192}
@@ -93,6 +93,33 @@ def dlb_figure_campaign(cluster: str, spec: Optional[WorkloadSpec] = None,
         grid=[("config.dlb", [False, True])])
 
 
+def adaptive_dlb_campaign(cluster: str = "thunder",
+                          spec: Optional[WorkloadSpec] = None,
+                          total: Optional[int] = None,
+                          name: Optional[str] = None) -> CampaignSpec:
+    """The adaptive-Δt x DLB interaction study (ROADMAP item).
+
+    {fixed Δt, local adaptive} x {DLB off, on} on a transient sine-inflow
+    workload: local mode drives time-varying per-rank subcycle counts —
+    an imbalance profile that shifts every global step, which is exactly
+    the regime LeWI-style lending targets.  The ``spec.adaptive`` axis
+    rides the generic ``"spec.<field>"`` override path, so the campaign
+    stays a thin declarative grid.
+    """
+    total = total if total is not None else CLUSTER_TOTALS[cluster]
+    base = spec if spec is not None \
+        else WorkloadSpec(inlet_waveform="sine", n_steps=32)
+    return CampaignSpec(
+        name=name or f"adaptive-dlb-{cluster}",
+        base_config=RunConfig(cluster=cluster, nranks=total,
+                              threads_per_rank=1,
+                              assembly_strategy=Strategy.MULTIDEP,
+                              sgs_strategy=Strategy.ATOMICS),
+        base_spec=base,
+        grid=[("spec.adaptive", ["off", "local"]),
+              ("config.dlb", [False, True])])
+
+
 def demo_campaign(spec: Optional[WorkloadSpec] = None) -> CampaignSpec:
     """A small but non-trivial sweep for the quickstart example: rank
     counts x DLB on a single Thunder node."""
@@ -131,6 +158,8 @@ BUILTIN_CAMPAIGNS = {
         "marenostrum4", _load(spec, LARGE_PARTICLE_RATIO), name="fig10"),
     "fig11": lambda spec=None: dlb_figure_campaign(
         "thunder", _load(spec, LARGE_PARTICLE_RATIO), name="fig11"),
+    "adaptive-dlb": lambda spec=None: adaptive_dlb_campaign(
+        "thunder", spec, name="adaptive-dlb"),
 }
 
 

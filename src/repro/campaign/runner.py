@@ -70,6 +70,8 @@ def job_record(job: Job, result) -> dict:
             "cores_borrowed_total": s.cores_borrowed_total,
             "max_team_capacity": s.max_team_capacity,
         }
+    if result.adaptive_diag:
+        metrics["adaptive"] = result.adaptive_diag
     return serialize.plain({
         "schema": RECORD_SCHEMA,
         "fingerprint": job.fingerprint,

@@ -97,10 +97,15 @@ class _Plan:
         self.sums = sums            # (busy, instructions, overhead, max_conc)
         self.n_total = n_total
         self.t_end = t_end
-        #: dispatch-time genealogy of the last-finishing task: its own
-        #: dispatch time, then its dispatcher's, ... up to a root — the
-        #: simulated times at which the scalar engine would assign the seq
-        #: numbers that break completion-time ties (see _PlanArbiter)
+        #: dispatch-time genealogy of the last-finishing task as flattened
+        #: ``(time, hop)`` pairs: its own dispatch time, then its
+        #: dispatcher's, ... up to a root — the simulated times at which the
+        #: scalar engine would assign the seq numbers that break
+        #: completion-time ties (see _PlanArbiter).  ``hop`` is 0.0 for a
+        #: plain dispatch (synchronous in ``run()`` or inside a task-finish
+        #: callback) and 1.0 for a repeat-boundary root, which the scalar
+        #: engine dispatches one event hop later (inside the previous
+        #: repeat's done callback) than any same-time plain dispatch.
         self.chain = chain
         self.slot = None            # engine handle of the pending plan event
         self.stalled = stalled      # capacity 0 with work left
@@ -250,6 +255,7 @@ class Team:
         # history and the future reflects the change.
         self._plan_enabled = _perf_toggles.TOGGLES.engine_batch
         self._plan: Optional[_Plan] = None
+        self._plan_repeats = 1
         self._plan_cache: dict[int, _PlanTemplate] = {}
         self._slow_epochs: list[tuple[float, float]] = []
         self._cap_epochs: list[tuple[float, int]] = []
@@ -374,11 +380,50 @@ class Team:
         self.slowdown = factor
 
     # -- execution ------------------------------------------------------------
-    def run(self, graph: TaskGraph):
+    def run(self, graph: TaskGraph, repeats: int = 1):
         """Execute ``graph`` to completion (generator; use ``yield from``).
 
-        Returns the :class:`GraphStats` of the run.
+        ``repeats > 1`` runs the same graph back to back — the local
+        adaptive-Δt subcycling of :mod:`repro.app.driver`, where a rank on
+        a finer time rung replays its compute graphs several times inside
+        one global step.  Returns one :class:`GraphStats` aggregated over
+        the repeats (``t_start`` of the first, ``t_end`` of the last,
+        work sums, max of the concurrency peaks).
         """
+        if repeats < 1:
+            raise RuntimeError_(f"repeats must be >= 1, got {repeats}")
+        if (repeats > 1 and len(graph) > 0 and self._plan_enabled
+                and self.recorder is None and self.listener is None):
+            # One plan covering every repeat, submitted in the same arbiter
+            # cohort as a single-run plan.  Per-repeat plans would arm each
+            # team's *final* completion in a cohort determined by its
+            # repeat count, and same-time completions across different
+            # cohorts order by cohort instead of the scalar dispatch
+            # genealogy — the one tie class the arbiter cannot see.
+            if self._graph is not None:
+                raise RuntimeError_(
+                    f"{self.name}: run() while a graph is active")
+            stats = GraphStats(t_start=self.engine.now)
+            self._graph = graph
+            self._stats = stats
+            self._done = Event(self.engine)
+            self._plan_start(graph, stats, repeats)
+            result = yield self._done
+            return result
+        stats = yield from self._run_once(graph)
+        for _ in range(repeats - 1):
+            more = yield from self._run_once(graph)
+            stats.tasks_run += more.tasks_run
+            stats.instructions += more.instructions
+            stats.busy_seconds += more.busy_seconds
+            stats.overhead_seconds += more.overhead_seconds
+            stats.t_end = more.t_end
+            stats.max_concurrency = max(stats.max_concurrency,
+                                        more.max_concurrency)
+        return stats
+
+    def _run_once(self, graph: TaskGraph):
+        """One execution of ``graph`` (the pre-``repeats`` run body)."""
         if self._graph is not None:
             raise RuntimeError_(f"{self.name}: run() while a graph is active")
         stats = GraphStats(t_start=self.engine.now)
@@ -412,12 +457,15 @@ class Team:
         return result
 
     # -- plan mode (engine_batch) ------------------------------------------
-    def _plan_start(self, graph: TaskGraph, stats: GraphStats) -> None:
-        """Materialize the whole run as a plan + one completion event."""
+    def _plan_start(self, graph: TaskGraph, stats: GraphStats,
+                    repeats: int = 1) -> None:
+        """Materialize the whole run (all ``repeats``) as one plan + one
+        completion event."""
         t0 = stats.t_start
         arb = self._arbiter
-        arb.planned_graphs += 1
-        arb.planned_tasks += len(graph.tasks)
+        arb.planned_graphs += repeats
+        arb.planned_tasks += repeats * len(graph.tasks)
+        self._plan_repeats = repeats
         if self._max_workers == 1:
             tpl = self._plan_cache.get(id(graph))
             if (tpl is None or tpl.graph is not graph
@@ -429,32 +477,79 @@ class Team:
                 self._plan_cache[id(graph)] = tpl
             else:
                 arb.plan_cache_hits += 1
-            self._install_plan(self._instantiate_template(tpl, t0, graph))
+            self._install_plan(
+                self._instantiate_template(tpl, t0, graph, repeats))
         else:
             self._install_plan(
-                self._plan_sim(graph, t0, [(t0, self.slowdown)],
-                               [(t0, self._max_workers)]))
+                self._plan_sim_repeated(graph, t0, [(t0, self.slowdown)],
+                                        [(t0, self._max_workers)], repeats))
 
     def _instantiate_template(self, tpl: _PlanTemplate, t0: float,
-                              graph: TaskGraph) -> _Plan:
+                              graph: TaskGraph, repeats: int = 1) -> _Plan:
         """Rebuild absolute times from a relative single-worker template.
 
         One float add per task, in the exact expression order of the scalar
         chain (``finish = start + dur``, next start = previous finish), so
         the absolute times are bit-identical to a fresh simulation.
+        ``repeats`` chains the schedule back to back; the stats sums fold
+        left, one term per repeat, matching the scalar loop's per-repeat
+        ``+=`` aggregation bit for bit.
         """
         t = t0
         d_start = []
         d_finish = []
         push_s = d_start.append
         push_f = d_finish.append
-        for dur in tpl.dur:
-            push_s(t)
-            t = t + dur
-            push_f(t)
-        return _Plan(tpl.d_tids, d_start, d_finish, tpl.dur, d_finish,
-                     tpl.sums, len(graph.tasks), d_finish[-1],
-                     tuple(reversed(d_start)), False)
+        for _ in range(repeats):
+            for dur in tpl.dur:
+                push_s(t)
+                t = t + dur
+                push_f(t)
+        busy, instr, overhead, max_conc = tpl.sums
+        for _ in range(repeats - 1):
+            busy += tpl.sums[0]
+            instr += tpl.sums[1]
+            overhead += tpl.sums[2]
+        # single worker: the full reversed dispatch sequence IS the
+        # genealogy walk; repeat-boundary roots carry hop tag 1.0
+        n = len(tpl.dur)
+        chain_l = []
+        for idx in range(len(d_start) - 1, -1, -1):
+            chain_l.append(d_start[idx])
+            chain_l.append(1.0 if idx and idx % n == 0 else 0.0)
+        return _Plan(tpl.d_tids * repeats, d_start, d_finish,
+                     tpl.dur * repeats, d_finish,
+                     (busy, instr, overhead, max_conc),
+                     repeats * len(graph.tasks), d_finish[-1],
+                     tuple(chain_l), False)
+
+    def _plan_sim_repeated(self, graph: TaskGraph, t0: float,
+                           slow_epochs: list, cap_epochs: list,
+                           repeats: int) -> _Plan:
+        """``repeats`` back-to-back :meth:`_plan_sim` runs merged into one
+        plan: each segment starts at the previous segment's end (the scalar
+        loop re-enters ``_run_once`` inside the previous completion), the
+        stats sums fold left like the scalar per-repeat aggregation, and
+        the dispatch-genealogy chain concatenates through the repeat
+        boundary — repeat ``j``'s roots are dispatched inside repeat
+        ``j-1``'s *done* callback, one event hop after any same-time
+        task-finish dispatch, so the boundary root carries hop tag 1.0."""
+        plan = self._plan_sim(graph, t0, slow_epochs, cap_epochs)
+        for _ in range(repeats - 1):
+            if plan.stalled:
+                break
+            nxt = self._plan_sim(graph, plan.t_end, slow_epochs, cap_epochs)
+            sums = (plan.sums[0] + nxt.sums[0], plan.sums[1] + nxt.sums[1],
+                    plan.sums[2] + nxt.sums[2],
+                    max(plan.sums[3], nxt.sums[3]))
+            plan = _Plan(plan.d_tids + nxt.d_tids,
+                         plan.d_start + nxt.d_start,
+                         plan.d_finish + nxt.d_finish,
+                         plan.d_dur + nxt.d_dur,
+                         plan.c_finish + nxt.c_finish, sums,
+                         plan.n_total + nxt.n_total, nxt.t_end,
+                         nxt.chain[:-1] + (1.0,) + plan.chain, nxt.stalled)
+        return plan
 
     def _install_plan(self, plan: _Plan) -> None:
         """Adopt a freshly simulated plan and queue it for arming.
@@ -495,9 +590,11 @@ class Team:
             plan.slot = None
         self._arbiter.plan_replans += 1
         t0 = self._stats.t_start
-        new = self._plan_sim(self._graph, t0,
-                             self._slow_epochs or [(t0, self.slowdown)],
-                             self._cap_epochs or [(t0, self._max_workers)])
+        new = self._plan_sim_repeated(
+            self._graph, t0,
+            self._slow_epochs or [(t0, self.slowdown)],
+            self._cap_epochs or [(t0, self._max_workers)],
+            self._plan_repeats)
         self._plan = new
         # a replan happens inside the perturbing call itself (set_capacity /
         # set_slowdown), the same cascade position where the scalar engine
@@ -523,6 +620,7 @@ class Team:
         self._stats = None
         self._done = None
         self._plan = None
+        self._plan_repeats = 1
         if self._slow_epochs:
             self._slow_epochs.clear()
         if self._cap_epochs:
@@ -701,10 +799,11 @@ class Team:
             idx = last_di
             while idx >= 0:
                 chain_l.append(d_start[idx])
+                chain_l.append(0.0)
                 idx = d_parent[idx]
             chain = tuple(chain_l)
         else:
-            chain = (t0,)
+            chain = (t0, 0.0)
         return _Plan(d_tids, d_start, d_finish, d_dur, c_finish,
                      (busy, instr, ovh_sum, max_conc), n, t_end, chain,
                      stalled)

@@ -12,9 +12,11 @@ Figure 9       4e5 particles, Thunder, orig vs DLB         :func:`run_fig9`
 Figure 10      7e6 particles, MN4, orig vs DLB             :func:`run_fig10`
 Figure 11      7e6 particles, Thunder, orig vs DLB         :func:`run_fig11`
 Sec. 4.3 IPC   assembly IPC counters per strategy          :func:`run_ipc_counters`
+(ROADMAP)      adaptive Δt x DLB interaction               :func:`run_adaptive_dlb`
 =============  ==========================================  ==============
 """
 
+from .adaptive import AdaptiveDLBResult, run_adaptive_dlb
 from .common import (
     format_table,
     large_load_spec,

@@ -1,0 +1,119 @@
+"""Adaptive-Δt x DLB interaction study (ROADMAP follow-up to Figs. 8-11).
+
+Adaptive time stepping changes the runtime-optimization question the paper
+asks.  Globally it reaches the simulated endpoint in fewer steps — a
+straight wall-time win.  Locally (per-subdomain Δt rungs) it *reshapes the
+imbalance profile every global step*: ranks holding fast-flow regions
+subcycle more than ranks holding slow ones, and a transient inlet waveform
+moves that imbalance over time — precisely the regime LeWI-style DLB
+lending (Sec. 4.4 of the paper) is meant to win in.
+
+This family runs the 2x2 {fixed Δt, local adaptive} x {DLB off, on} grid
+of :func:`repro.campaign.adaptive_dlb_campaign` on a transient workload
+and reports, per cell, the wall time, steps to endpoint, subcycle totals
+and the DLB gain — answering "does DLB recover the imbalance adaptivity
+introduces?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..app import WorkloadSpec
+from ..campaign import adaptive_dlb_campaign, run_campaign
+from .common import format_table
+
+__all__ = ["AdaptiveDLBResult", "run_adaptive_dlb"]
+
+
+@dataclass
+class AdaptiveDLBResult:
+    """The 2x2 grid of the adaptive-vs-DLB study.
+
+    ``cells`` maps ``(mode, dlb)`` — mode in {"off", "local"}, dlb a bool
+    — to the metrics dict of that run (always ``total_time`` and
+    ``n_steps``; local cells add ``subcycles_total``, ``subcycles_max``
+    and ``subcycle_imbalance``).
+    """
+
+    cluster: str
+    cells: dict
+
+    def time(self, mode: str, dlb: bool) -> float:
+        """Simulated wall time of one cell."""
+        return self.cells[(mode, dlb)]["total_time"]
+
+    def dlb_gain(self, mode: str) -> float:
+        """DLB-off / DLB-on time for ``mode`` — how much lending buys."""
+        return self.time(mode, False) / self.time(mode, True)
+
+    def adaptive_speedup(self, dlb: bool) -> float:
+        """Fixed-Δt / adaptive time at one DLB setting — what adaptivity
+        buys on top of (or without) lending."""
+        return self.time("off", dlb) / self.time("local", dlb)
+
+    def interaction(self) -> float:
+        """DLB gain under adaptivity relative to DLB gain at fixed Δt.
+
+        > 1 means adaptive stepping creates imbalance that DLB recovers —
+        the hypothesis of the study.
+        """
+        return self.dlb_gain("local") / self.dlb_gain("off")
+
+    def format(self) -> str:
+        """The study as a paper-style table."""
+        rows = []
+        for mode in ("off", "local"):
+            for dlb in (False, True):
+                cell = self.cells[(mode, dlb)]
+                rows.append((
+                    "fixed Δt" if mode == "off" else "local adaptive",
+                    "on" if dlb else "off",
+                    f"{cell['total_time'] * 1e3:.3f}",
+                    str(cell["n_steps"]),
+                    str(cell.get("subcycles_total", "-")),
+                ))
+        table = format_table(
+            ["time stepping", "DLB", "time (ms)", "steps", "subcycles"],
+            rows, title=f"Adaptive Δt x DLB on {self.cluster}")
+        return (f"{table}\n"
+                f"DLB gain fixed: {self.dlb_gain('off'):.2f}x   "
+                f"DLB gain adaptive: {self.dlb_gain('local'):.2f}x   "
+                f"interaction: {self.interaction():.2f}x")
+
+    def to_rows(self) -> list:
+        """Structured rows, one dict per cell."""
+        return [{"cluster": self.cluster, "mode": mode, "dlb": dlb,
+                 **self.cells[(mode, dlb)]}
+                for mode in ("off", "local") for dlb in (False, True)]
+
+
+def run_adaptive_dlb(cluster: str = "thunder",
+                     spec: Optional[WorkloadSpec] = None,
+                     total: Optional[int] = None) -> AdaptiveDLBResult:
+    """Run the {fixed, local adaptive} x {DLB off, on} campaign."""
+    campaign = adaptive_dlb_campaign(cluster, spec=spec, total=total)
+    run = run_campaign(campaign)
+    cells: dict = {}
+    for outcome in run.outcomes:
+        if outcome.record is None:
+            raise RuntimeError(
+                f"{outcome.job.job_id} failed: {outcome.error}")
+        job = outcome.job
+        metrics = outcome.record["metrics"]
+        adaptive = metrics.get("adaptive", {})
+        cell = {
+            "total_time": metrics["total_time"],
+            "n_steps": adaptive.get("n_sim_steps", job.spec.n_steps),
+            "load_balance": metrics["pop"]["load_balance"],
+        }
+        for key in ("steps_saved", "subcycles_total", "subcycles_max",
+                    "subcycle_imbalance", "max_cfl"):
+            if key in adaptive:
+                cell[key] = adaptive[key]
+        if "dlb" in metrics:
+            cell["dlb_events"] = (metrics["dlb"]["lend_events"]
+                                  + metrics["dlb"]["borrow_events"])
+        cells[(job.spec.adaptive, job.config.dlb)] = cell
+    return AdaptiveDLBResult(cluster=cluster, cells=cells)

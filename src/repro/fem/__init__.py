@@ -12,10 +12,12 @@ from .geometry import (
     cache_budget_bytes,
     cache_for,
     drop_cache,
+    element_sizes,
     geometry_blocks,
     set_cache_budget,
 )
 from .sgs import SGSState, update_sgs
+from .timestep import CflController, DtLadder, cfl_rate, element_cfl_rates
 from .shape import ReferenceElement, reference_element
 from .vector import (
     deinterleave,
@@ -27,6 +29,8 @@ from .vector import (
 
 __all__ = [
     "AssemblyResult",
+    "CflController",
+    "DtLadder",
     "ElementGeometry",
     "FlowBC",
     "FractionalStepSolver",
@@ -39,7 +43,10 @@ __all__ = [
     "assemble_operator",
     "cache_budget_bytes",
     "cache_for",
+    "cfl_rate",
     "drop_cache",
+    "element_cfl_rates",
+    "element_sizes",
     "geometry_blocks",
     "set_cache_budget",
     "deinterleave",

@@ -63,13 +63,24 @@ __all__ = ["FLUID_COUNTERS", "FlowBC", "FractionalStepSolver", "StepInfo"]
 
 #: running totals of the fluid fast paths (momentum matrices recycled vs
 #: rebuilt from scratch, deflated continuity solves, deflation setups
-#: built/reused); surfaced by :func:`repro.perf.instrument.fluid_counters`
+#: built/reused, Δt-rung operator-cache traffic, adaptive steps and
+#: subcycles); surfaced by :func:`repro.perf.instrument.fluid_counters`
 FLUID_COUNTERS = {
     "momentum_recycled": 0,
     "momentum_rebuilt": 0,
     "pressure_deflated_solves": 0,
     "deflation_setups_built": 0,
     "deflation_setups_reused": 0,
+    #: dt setter served the rung's operator state from the per-rung cache
+    "dt_rung_hits": 0,
+    #: dt setter had no cached state for the new rung
+    "dt_rung_misses": 0,
+    #: rung operator states built (construction + every miss)
+    "dt_rung_rebuilds": 0,
+    #: steps taken through the adaptive controller (advance_to)
+    "adaptive_steps": 0,
+    #: local-mode subcycles replayed by the app driver
+    "adaptive_subcycles": 0,
 }
 
 
@@ -102,12 +113,24 @@ class FlowBC:
 
 @dataclass
 class StepInfo:
-    """Diagnostics of one fractional step."""
+    """Diagnostics of one fractional step.
+
+    The adaptive fields default to "not adaptive": ``dt`` is always
+    recorded; ``cfl`` and ``rung`` are filled by :meth:`FractionalStepSolver.
+    advance_to` (computing the CFL rate costs an element sweep, so fixed-Δt
+    steps skip it); ``subcycles`` is 1 except for local-mode schedule
+    entries, where the app layer folds per-subdomain subcycling into one
+    global step.
+    """
 
     momentum_iterations: int
     pressure_iterations: int
     div_before: float
     div_after: float
+    dt: float = 0.0
+    cfl: float = 0.0
+    rung: int = -1
+    subcycles: int = 1
 
 
 class FractionalStepSolver:
@@ -146,7 +169,10 @@ class FractionalStepSolver:
         self.bc = bc
         self.viscosity = viscosity
         self.density = density
-        self.dt = dt
+        self._dt = float(dt)
+        #: Δt value -> operator state (recycler maps, deflation setup) so
+        #: the adaptive ladder revisits a rung without rebuilding anything
+        self._rung_states: dict = {}
         n = mesh.nnodes
         self.u = np.zeros((n, 3))
         self.p = np.zeros(n)
@@ -175,8 +201,10 @@ class FractionalStepSolver:
         self.u[vel_nodes] = vel_values
         # fast paths (toggle state captured at construction)
         toggles = _perf_toggles.TOGGLES
+        self._recycle_enabled = bool(toggles.fluid_operator_recycle)
+        self._defl_cache_enabled = bool(toggles.deflation_setup_cache)
         self._slots: Optional[DirichletSlots] = None
-        if toggles.fluid_operator_recycle:
+        if self._recycle_enabled:
             self._build_recycler()
         self.pressure_solver = pressure_solver
         self._pressure_groups: Optional[np.ndarray] = None
@@ -187,10 +215,71 @@ class FractionalStepSolver:
             else:
                 from ..partition import rcb_partition
                 self._pressure_groups = rcb_partition(mesh.coords, n_coarse)
-            if toggles.deflation_setup_cache:
+            if self._defl_cache_enabled:
                 self._defl_setup = DeflationSetup(self._L,
                                                   self._pressure_groups)
                 FLUID_COUNTERS["deflation_setups_built"] += 1
+        self._store_rung_state(self._dt)
+        FLUID_COUNTERS["dt_rung_rebuilds"] += 1
+
+    # -- Δt rung cache -------------------------------------------------------
+    @property
+    def dt(self) -> float:
+        """The current time step.
+
+        Assigning a new value swaps in the Δt-dependent operator state
+        through a keyed per-rung cache: the first visit of a Δt rebuilds
+        the recycler maps (and, for the deflated pressure solver, the
+        deflation setup) at that step size; revisiting a rung restores the
+        cached state in O(1).  The Krylov workspace caches are keyed by
+        system size only and the pressure operator ``L`` carries no Δt, so
+        neither can go stale under mutation — this setter is what makes
+        ``dt`` safe to change mid-run at all (previously the attribute
+        could be reassigned while the recycler kept operators self-checked
+        at the construction Δt).
+        """
+        return self._dt
+
+    @dt.setter
+    def dt(self, value: float) -> None:
+        value = float(value)
+        if value <= 0:
+            raise ValueError(f"dt must be > 0, got {value}")
+        if value == self._dt:
+            return
+        self._dt = value
+        state = self._rung_states.get(value)
+        if state is not None:
+            FLUID_COUNTERS["dt_rung_hits"] += 1
+            self._slots = state["slots"]
+            self._gather = state["gather"]
+            self._scalar_nnz = state["scalar_nnz"]
+            self._defl_setup = state["defl_setup"]
+            return
+        FLUID_COUNTERS["dt_rung_misses"] += 1
+        self._slots = None
+        if self._recycle_enabled:
+            self._build_recycler()
+        if self.pressure_solver == "deflated" and self._defl_cache_enabled:
+            # L is Δt-independent, so this rebuild reproduces the previous
+            # setup bit-for-bit — paid once per rung for the invalidation
+            # guarantee, then served from the rung cache forever
+            self._defl_setup = DeflationSetup(self._L, self._pressure_groups)
+            FLUID_COUNTERS["deflation_setups_built"] += 1
+        self._store_rung_state(value)
+        FLUID_COUNTERS["dt_rung_rebuilds"] += 1
+
+    def _store_rung_state(self, value: float) -> None:
+        self._rung_states[value] = {
+            "slots": self._slots,
+            "gather": getattr(self, "_gather", None),
+            "scalar_nnz": getattr(self, "_scalar_nnz", None),
+            "defl_setup": getattr(self, "_defl_setup", None),
+        }
+
+    def rung_cache_size(self) -> int:
+        """Number of Δt values with resident operator state."""
+        return len(self._rung_states)
 
     # -- operator recycling --------------------------------------------------
     def _build_recycler(self) -> None:
@@ -317,11 +406,60 @@ class FractionalStepSolver:
         self.p = self.p + phi
         return StepInfo(momentum_iterations=res_m.iterations,
                         pressure_iterations=res_p.iterations,
-                        div_before=div_before, div_after=div_after)
+                        div_before=div_before, div_after=div_after,
+                        dt=dt)
 
     def run(self, n_steps: int, tol: float = 1e-7) -> list[StepInfo]:
         """Advance ``n_steps`` steps; returns the per-step diagnostics."""
         return [self.step(tol=tol) for _ in range(n_steps)]
+
+    # -- adaptive time stepping ---------------------------------------------
+    def advance_to(self, t_end: float, control=None, tol: float = 1e-7,
+                   maxiter: int = 600) -> list[StepInfo]:
+        """Advance to simulated time ``t_end`` under a CFL controller.
+
+        ``control`` is a :class:`~repro.fem.timestep.CflController` (default:
+        target CFL 0.9 on a 4-rung ladder anchored at the current ``dt``).
+        Each step computes the CFL rate from the velocity field and the
+        cached element sizes (:func:`repro.fem.timestep.cfl_rate` over
+        :func:`repro.fem.geometry.geometry_blocks`), quantizes the target
+        step onto the ladder with hysteresis, and advances — so Δt-
+        dependent operator state is reused via the per-rung cache instead
+        of rebuilt.  The final step is clipped to land exactly on
+        ``t_end`` (one off-ladder rung, also cached).
+
+        Deterministic by construction: the controller reads only simulated
+        state, every float operation is fixed-order, and the fields are
+        bit-identical across perf-toggle combinations — so the Δt sequence
+        replays exactly on any rerun.
+        """
+        from .geometry import geometry_blocks
+        from .timestep import CflController, DtLadder, cfl_rate
+
+        if t_end <= 0:
+            raise ValueError(f"t_end must be > 0, got {t_end}")
+        if control is None:
+            control = CflController(
+                ladder=DtLadder(dt_min=self.dt, dt_max=8.0 * self.dt))
+        ladder = control.ladder
+        blocks = geometry_blocks(self.mesh)
+        infos: list[StepInfo] = []
+        t = 0.0
+        # start optimistic at the top: the controller's first decision
+        # drops straight to the CFL-admissible rung of the initial field
+        rung = ladder.top
+        while t_end - t > 1e-9 * t_end:
+            rate = cfl_rate(self.u, blocks)
+            rung = control.rung_for(rate, rung)
+            dt = min(ladder.dt_of(rung), t_end - t)
+            self.dt = dt
+            info = self.step(tol=tol, maxiter=maxiter)
+            info.cfl = rate * dt
+            info.rung = rung
+            FLUID_COUNTERS["adaptive_steps"] += 1
+            infos.append(info)
+            t += dt
+        return infos
 
     # -- helpers ------------------------------------------------------------
     def _mass3(self, dofs: np.ndarray) -> np.ndarray:

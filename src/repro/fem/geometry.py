@@ -55,6 +55,7 @@ from .shape import reference_element
 __all__ = [
     "ElementGeometry", "ElementAdjacency", "GeometryCache", "COUNTERS",
     "cache_for", "geometry_blocks", "cached_extra", "element_adjacency",
+    "element_sizes",
     "set_cache_budget", "cache_budget_bytes", "drop_cache",
 ]
 
@@ -243,6 +244,25 @@ def geometry_blocks(mesh: Mesh,
         blocks = _build_blocks(mesh, element_ids)
         cache.put(key, blocks, sum(b.nbytes for b in blocks))
     return blocks
+
+
+def element_sizes(mesh: Mesh,
+                  cache: Optional[GeometryCache] = None) -> np.ndarray:
+    """Cached (nelem,) element sizes ``h`` indexed by global element id.
+
+    The flat companion of the per-type ``h`` arrays in
+    :func:`geometry_blocks` — the CFL controllers
+    (:mod:`repro.fem.timestep`) and the app-level Δt scheduler divide
+    element speeds by this vector, and ``h.min()`` bounds the admissible
+    step of the whole mesh.  Cached under the same fingerprint
+    invalidation as the blocks it is scattered from.
+    """
+    def build():
+        h = np.zeros(mesh.nelem)
+        for block in geometry_blocks(mesh, cache=cache):
+            h[block.eids] = block.h
+        return h, h.nbytes
+    return cached_extra(mesh, "element_sizes", build, cache=cache)
 
 
 @dataclass

@@ -12,6 +12,8 @@ Usage::
     PYTHONPATH=src python -m repro.perf.bench --compare BENCH_pr5.json \
         --baseline auto
     PYTHONPATH=src python -m repro.perf.bench --digest-check engine_batch
+    PYTHONPATH=src python -m repro.perf.bench --digest-check engine_batch \
+        --digest-workload adaptive
 
 ``--compare`` exits non-zero when any benchmark is more than
 ``SLOWDOWN_TOLERANCE`` times slower than the committed baseline report —
@@ -34,6 +36,9 @@ simply don't break the chain.
 default end-to-end configuration twice — once with ``TOGGLE`` forced off,
 once with the current defaults — failing if the simulated digests differ:
 the per-push form of the wall-clock-only contract.
+``--digest-workload adaptive`` runs the same check through the adaptive
+time-stepping paths instead (CFL-controlled tube flow for the fluid
+toggles, a local-adaptive transient end-to-end spec otherwise).
 
 Every end-to-end benchmark also records a digest of the simulated-time
 results under both toggle states: the report itself re-checks the PR's
@@ -71,7 +76,12 @@ TRAJECTORY_NOISE_FLOOR = 0.9
 TRAJECTORY_QUICK_FLOOR = 0.85
 
 _SCHEMA = "repro-bench-v1"
-_DEFAULT_OUT = "BENCH_pr8.json"
+_DEFAULT_OUT = "BENCH_pr9.json"
+
+#: documented accuracy contract of the adaptive time-to-endpoint row:
+#: relative L2 distance of the adaptive endpoint velocity from the fine
+#: fixed-Δt reference (see docs/performance.md, "Adaptive time stepping")
+ENDPOINT_ACCURACY_TOL = 0.05
 
 
 def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
@@ -462,6 +472,130 @@ def _pressure_solve_per_call() -> str:
         [deflated_cg(A, b, groups, tol=1e-4) for b in bs])
 
 
+#: (mesh, bc, u0, p0, dt_fine, n_fixed, control) of the time-to-endpoint
+#: row: a weak-inflow tube spun up (untimed) to its developed state, whose
+#: CFL headroom then lets the adaptive controller sit on the top Δt rung
+#: while the fixed reference covers the same horizon at the fine Δt — the
+#: wall-time-to-endpoint regime adaptivity targets.  Starting from the
+#: developed state matters for the accuracy gate too: the impulsive-start
+#: entrance transient relaxes on the advective timescale L/U (~0.3 s
+#: here), and mid-transient states at 8x Δt differ by O(1) no matter the
+#: viscosity — whereas near the attractor the coarse-rung endpoint tracks
+#: the fine reference to ~1%.
+_ADAPTIVE_ENDPOINT: Optional[tuple] = None
+
+
+def _adaptive_endpoint() -> tuple:
+    global _ADAPTIVE_ENDPOINT
+    if _ADAPTIVE_ENDPOINT is None:
+        import numpy as np
+
+        from ..fem import CflController, DtLadder, FlowBC, \
+            FractionalStepSolver
+        from ..mesh.airway import Segment
+        from ..mesh.generator import MeshResolution, build_tube_mesh
+
+        seg = Segment(sid=0, parent=-1, generation=0, start=np.zeros(3),
+                      direction=np.array([0.0, 0.0, -1.0]), length=0.04,
+                      radius=0.01)
+        mesh = build_tube_mesh(seg, MeshResolution(points_per_ring=12,
+                                                   max_sections=10))
+        z = mesh.coords[:, 2]
+        r = np.linalg.norm(mesh.coords[:, :2], axis=1)
+        inlet = np.nonzero(np.isclose(z, 0.0) & (r < 0.0099))[0]
+        outlet = np.nonzero(np.isclose(z, -0.04))[0]
+        wall = np.nonzero(np.isclose(r, 0.01))[0]
+        u_in = np.zeros((len(inlet), 3))
+        # peak 0.25 m/s: slow enough that the CFL target admits the top
+        # rung of the 5e-4..4e-3 ladder (a 1 m/s inflow on this mesh pins
+        # the controller to the bottom rung and there is nothing to win)
+        u_in[:, 2] = -0.25 * (1.0 - (r[inlet] / 0.01) ** 2)
+        bc = FlowBC(inlet_nodes=inlet, inlet_velocity=u_in, wall_nodes=wall,
+                    outlet_nodes=outlet)
+        spinup = FractionalStepSolver(mesh, bc, viscosity=1e-3, density=1.0,
+                                      dt=4e-3)
+        spinup.run(100, tol=1e-6)
+        dt_fine = 5e-4
+        control = CflController(
+            ladder=DtLadder(dt_min=dt_fine, dt_max=8 * dt_fine))
+        _ADAPTIVE_ENDPOINT = (mesh, bc, spinup.u.copy(), spinup.p.copy(),
+                              dt_fine, 64, control)
+    return _ADAPTIVE_ENDPOINT
+
+
+def _endpoint_result(solver, infos) -> dict:
+    digest = hashlib.sha256()
+    digest.update(solver.u.tobytes())
+    digest.update(solver.p.tobytes())
+    digest.update(repr([(i.momentum_iterations, i.pressure_iterations,
+                         round(i.dt, 12), i.rung)
+                        for i in infos]).encode())
+    return {"steps": len(infos), "u": solver.u.copy(),
+            "digest": digest.hexdigest()}
+
+
+def _endpoint_solver():
+    """A fresh fine-Δt solver starting from the spun-up developed state."""
+    from ..fem import FractionalStepSolver
+
+    mesh, bc, u0, p0, dt_fine, _, _ = _adaptive_endpoint()
+    solver = FractionalStepSolver(mesh, bc, viscosity=1e-3, density=1.0,
+                                  dt=dt_fine)
+    solver.u = u0.copy()
+    solver.p = p0.copy()
+    return solver
+
+
+def _endpoint_fixed() -> dict:
+    """Fine fixed-Δt reference advanced to the endpoint.  Solver
+    construction stays inside the timed region on both sides: the row
+    measures the full wall time to the simulated endpoint, including the
+    Δt-dependent operator builds adaptivity amortizes per rung."""
+    n_fixed = _adaptive_endpoint()[5]
+    solver = _endpoint_solver()
+    return _endpoint_result(solver, solver.run(n_fixed, tol=1e-4))
+
+
+def _endpoint_adaptive() -> dict:
+    """CFL-controlled run to the same endpoint on the quantized ladder."""
+    dt_fine, n_fixed, control = _adaptive_endpoint()[4:]
+    solver = _endpoint_solver()
+    infos = solver.advance_to(n_fixed * dt_fine, control=control, tol=1e-4)
+    return _endpoint_result(solver, infos)
+
+
+def _endpoint_detail(before: dict, after: dict) -> dict:
+    """Accuracy and determinism cross-checks of the time-to-endpoint row
+    (untimed): endpoint error vs the fine fixed-Δt reference, a rerun, and
+    the adaptive run with every fluid fast path forced off — the digests
+    of all three must match bit for bit."""
+    import numpy as np
+
+    from .toggles import configured
+
+    err = float(np.linalg.norm(after["u"] - before["u"])
+                / np.linalg.norm(before["u"]))
+    rerun = _endpoint_adaptive()
+    with configured(fluid_operator_recycle=False,
+                    deflation_setup_cache=False, krylov_buffers=False):
+        toggled = _endpoint_adaptive()
+    return {
+        "steps_fixed": before["steps"],
+        "steps_adaptive": after["steps"],
+        "step_reduction": round(before["steps"] / after["steps"], 3),
+        "endpoint_rel_error": round(err, 6),
+        "endpoint_tolerance": ENDPOINT_ACCURACY_TOL,
+        "ok": err <= ENDPOINT_ACCURACY_TOL,
+        "simulated_digest": {
+            "after": after["digest"],
+            "rerun": rerun["digest"],
+            "fast_paths_off": toggled["digest"],
+            "identical": after["digest"] == rerun["digest"]
+            == toggled["digest"],
+        },
+    }
+
+
 #: (A, M, rhs list) of the Krylov-kernel row: a small, iteration-heavy SPD
 #: system where the per-iteration allocation overhead the buffered cores
 #: remove is a visible fraction of the solve
@@ -650,9 +784,11 @@ def _cfpd_digest(res) -> str:
     return h.hexdigest()
 
 
-def _run_cfpd_digest(**config_kwargs) -> str:
+def _run_cfpd_digest(spec=None, **config_kwargs) -> str:
     """End-to-end run; digest covers every simulated-time result."""
-    return _cfpd_digest(_run_cfpd(**config_kwargs))
+    from ..app.driver import RunConfig, run_cfpd
+
+    return _cfpd_digest(run_cfpd(RunConfig(**config_kwargs), spec=spec))
 
 
 def _campaign_bench_spec():
@@ -759,6 +895,18 @@ def _benchmark_table(quick: bool) -> list[dict]:
          "note": "before = deflated CG rebuilding the coarse space every "
                  "solve; after = one DeflationSetup (built inside the "
                  "timed region) amortized over the RHS batch"},
+        # before/after compare *time-stepping policies* on the same code
+        # (fixed fine Δt vs the CFL-controlled ladder), not toggle states;
+        # the detail hook cross-checks endpoint accuracy and bit-identical
+        # digests across a rerun and the fluid fast paths forced off
+        {"name": "time_to_endpoint", "kind": "kernel",
+         "fn": _endpoint_adaptive, "before_fn": _endpoint_fixed,
+         "setup": _adaptive_endpoint, "units": None, "repeats": 3,
+         "min_speedup": 1.5, "detail": _endpoint_detail,
+         "note": "before = fixed fine-Δt run to the simulated endpoint; "
+                 "after = CFL-driven adaptive stepping on the quantized "
+                 "Δt ladder to the same endpoint (solver construction "
+                 "timed on both sides)"},
         {"name": "krylov_cg", "kind": "kernel",
          "fn": _krylov_cg_workload, "units": "solves", "warmup": True,
          "setup": _krylov_system, "repeats": 7, "min_speedup": 1.1,
@@ -900,12 +1048,26 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
                 "after": after_res,
                 "identical": before_res == after_res,
             }
+        # "detail" maps the post-mapped (before, after) results to extra
+        # row-specific report fields, outside the timed region; a
+        # "simulated_digest" key joins the identity gate and an "ok" key
+        # joins the detail-check gate
+        detail = row.get("detail")
+        if detail is not None:
+            extra = dict(detail(before_res, after_res))
+            sim = extra.pop("simulated_digest", None)
+            if sim is not None:
+                entry["simulated_digest"] = sim
+            if extra:
+                entry["detail"] = extra
         benchmarks.append(entry)
         if verbose:
             print(f"[bench]   before={before_s:.3f}s after={after_s:.3f}s "
                   f"speedup={entry['speedup']}x", flush=True)
     digests = [b["simulated_digest"]["identical"] for b in benchmarks
                if "simulated_digest" in b]
+    detail_oks = [b["detail"]["ok"] for b in benchmarks
+                  if "ok" in b.get("detail", {})]
     gated = [b for b in benchmarks if "min_speedup" in b]
     gates_ok = all(b["speedup"] is not None
                    and b["speedup"] >= b["min_speedup"] for b in gated)
@@ -925,6 +1087,7 @@ def run_benchmarks(quick: bool = False, repeats: Optional[int] = None,
             "all_simulated_results_identical": all(digests) if digests
             else None,
             "speedup_gates_ok": gates_ok if gated else None,
+            "detail_checks_ok": all(detail_oks) if detail_oks else None,
         },
     }
     return report
@@ -1068,17 +1231,61 @@ def _fluid_toggle_digest() -> str:
     return digest.hexdigest()
 
 
-def _digest_check(toggle: str) -> int:
+def _fluid_adaptive_digest() -> str:
+    """Adaptive-Δt variant of :func:`_fluid_toggle_digest`: fresh solvers
+    advanced to a fixed endpoint through the CFL controller on a ladder
+    the inflow forces a rung drop on, so the digest covers the controller
+    walk (Δt sequence and rungs) as well as the field bytes."""
+    from ..fem import CflController, DtLadder, FractionalStepSolver
+
+    mesh, bc = _fluid_tube()
+    control = CflController(ladder=DtLadder(dt_min=5e-4, dt_max=4e-3))
+    digest = hashlib.sha256()
+    for pressure_solver in ("cg", "deflated"):
+        solver = FractionalStepSolver(mesh, bc, viscosity=1e-3, density=1.0,
+                                      dt=2e-3,
+                                      pressure_solver=pressure_solver)
+        infos = solver.advance_to(8e-3, control=control, tol=1e-5)
+        digest.update(solver.u.tobytes())
+        digest.update(solver.p.tobytes())
+        digest.update(repr([(i.momentum_iterations, i.pressure_iterations,
+                             round(i.dt, 12), i.rung)
+                            for i in infos]).encode())
+    return digest.hexdigest()
+
+
+def _adaptive_digest_spec():
+    """The end-to-end digest-check spec for ``--digest-workload adaptive``:
+    local per-rank rungs with deterministic subcycling over a transient
+    sine inflow — the paths the adaptive PR added to the driver."""
+    from ..app.workload import WorkloadSpec
+
+    return WorkloadSpec(adaptive="local", inlet_waveform="sine")
+
+
+def _digest_check(toggle: str, workload: str = "default") -> int:
     """Run the toggle's digest workload with ``toggle`` off vs on and
-    compare simulated digests — the quick per-push contract check."""
+    compare simulated digests — the quick per-push contract check.
+
+    ``workload="adaptive"`` routes the check through the adaptive-Δt
+    paths: the tube solver advances through the CFL controller for the
+    fluid toggles, and the end-to-end run uses a local-adaptive transient
+    spec for everything else.
+    """
     from .toggles import Toggles, configured
 
     if toggle not in Toggles.__dataclass_fields__:
         print(f"[bench] unknown toggle {toggle!r}; known: "
               f"{', '.join(Toggles.__dataclass_fields__)}", file=sys.stderr)
         return 2
-    digest_fn = (_fluid_toggle_digest if toggle in _FLUID_DIGEST_TOGGLES
-                 else _run_cfpd_digest)
+    if toggle in _FLUID_DIGEST_TOGGLES:
+        digest_fn = (_fluid_adaptive_digest if workload == "adaptive"
+                     else _fluid_toggle_digest)
+    elif workload == "adaptive":
+        def digest_fn():
+            return _run_cfpd_digest(spec=_adaptive_digest_spec())
+    else:
+        digest_fn = _run_cfpd_digest
     with configured(**{toggle: False}):
         d_off = digest_fn()
     d_on = digest_fn()
@@ -1120,10 +1327,17 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "end-to-end config with TOGGLE off vs on and "
                              "fail (exit 1) if the simulated digests "
                              "differ")
+    parser.add_argument("--digest-workload", default="default",
+                        choices=("default", "adaptive"),
+                        help="workload --digest-check runs: the default "
+                             "configuration, or the adaptive-Δt paths "
+                             "(CFL-controlled tube flow for the fluid "
+                             "toggles, a local-adaptive transient spec "
+                             "end-to-end otherwise)")
     args = parser.parse_args(argv)
 
     if args.digest_check:
-        return _digest_check(args.digest_check)
+        return _digest_check(args.digest_check, args.digest_workload)
 
     if args.baseline == "auto":
         resolved = resolve_auto_baseline(
@@ -1166,6 +1380,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             if gate and (b["speedup"] is None or b["speedup"] < gate):
                 print(f"[bench] FAIL: {b['name']} speedup {b['speedup']}x "
                       f"below the required {gate}x", file=sys.stderr)
+        return 1
+    if report["summary"]["detail_checks_ok"] is False:
+        for b in report["benchmarks"]:
+            if b.get("detail", {}).get("ok") is False:
+                print(f"[bench] FAIL: {b['name']} detail check failed: "
+                      f"{b['detail']}", file=sys.stderr)
         return 1
     if args.compare:
         with open(args.compare) as fh:

@@ -179,8 +179,9 @@ def fluid_counters() -> Dict[str, float]:
 
     Combines the :data:`repro.fem.fractional_step.FLUID_COUNTERS` running
     totals (momentum operators recycled vs rebuilt from scratch, deflated
-    continuity solves, deflation setups built/reused) with the buffered
-    Krylov cores' workspace-cache counters
+    continuity solves, deflation setups built/reused, Δt-rung operator-
+    cache hits/misses/rebuilds, adaptive steps and local-mode subcycles)
+    with the buffered Krylov cores' workspace-cache counters
     (:func:`repro.solver.krylov.krylov_workspace_stats`), namespaced under
     ``"krylov_workspaces"``.  Process-wide totals — diagnostics, not part
     of any simulated result.
