@@ -41,6 +41,7 @@ from .app import (
     run_cfpd,
 )
 from .core import Strategy
+from .cosim import VENTILATION_PATTERNS
 
 #: Exit code when a campaign is aborted by ``job_kill`` injection.
 EXIT_KILLED = 3
@@ -58,7 +59,8 @@ def _spec_from(args) -> WorkloadSpec:
 
 
 def _adaptive_overrides(args) -> dict:
-    """The adaptive-Δt workload flags the user actually set."""
+    """The adaptive-Δt and breathing workload flags the user actually
+    set."""
     kwargs = {}
     if getattr(args, "adaptive", None) is not None:
         kwargs["adaptive"] = args.adaptive
@@ -66,6 +68,15 @@ def _adaptive_overrides(args) -> dict:
         kwargs["cfl_target"] = args.cfl_target
     if getattr(args, "waveform", None) is not None:
         kwargs["inlet_waveform"] = args.waveform
+    if getattr(args, "breathing_pattern", None) is not None:
+        kwargs.update(VENTILATION_PATTERNS[args.breathing_pattern])
+        # a named pattern implies the ventilator-coupled waveform unless
+        # the user picked one explicitly
+        kwargs.setdefault("inlet_waveform", "ventilator")
+    if getattr(args, "tidal_volume", None) is not None:
+        kwargs["tidal_volume"] = args.tidal_volume
+    if getattr(args, "cpap", None) is not None:
+        kwargs["cpap"] = args.cpap
     return kwargs
 
 
@@ -99,8 +110,19 @@ def _workload_parent() -> argparse.ArgumentParser:
                    help="target CFL number of the adaptive controller "
                         "(default 0.9)")
     p.add_argument("--waveform", default=None,
-                   choices=["steady", "ramp", "sine"],
-                   help="transient inlet waveform (default steady)")
+                   choices=["steady", "ramp", "sine", "breathing",
+                            "ventilator"],
+                   help="transient inlet waveform (default steady; "
+                        "'breathing' is the analytic cycle, 'ventilator' "
+                        "couples the 0D lung model through the cosim hub)")
+    p.add_argument("--breathing-pattern", default=None,
+                   choices=sorted(VENTILATION_PATTERNS),
+                   help="named ventilation preset (implies --waveform "
+                        "ventilator unless one is given)")
+    p.add_argument("--tidal-volume", type=float, default=None,
+                   help="tidal volume in ml (default 350)")
+    p.add_argument("--cpap", type=float, default=None,
+                   help="CPAP support pressure in cmH2O (default 0)")
     return p
 
 
@@ -124,6 +146,25 @@ def _cmd_experiment(name: str, args) -> int:
             spec = dataclasses.replace(spec, inlet_waveform="sine")
         if args.steps is None:
             spec = dataclasses.replace(spec, n_steps=32)
+    if name == "breathing":
+        # ventilator-coupled defaults: the deposition sweep needs the hub
+        # waveform, a horizon long enough to deposit under breathing-scaled
+        # carrier flow, and the CFL ladder consuming the transient
+        import dataclasses
+
+        from .app import BREATHING_WAVEFORMS
+
+        overrides: dict = {}
+        if args.waveform is None and args.breathing_pattern is None:
+            overrides["inlet_waveform"] = "ventilator"
+        if args.steps is None:
+            overrides.update(n_steps=4096, injection_interval=1024)
+        if args.adaptive is None:
+            overrides["adaptive"] = "global"
+        waveform = overrides.get("inlet_waveform", spec.inlet_waveform)
+        if waveform in BREATHING_WAVEFORMS:
+            overrides["injection_phase"] = "inhale"
+        spec = dataclasses.replace(spec, **overrides)
     runner = {
         "table1": lambda: exp.run_table1(spec=spec),
         "fig6": lambda: exp.run_fig6(spec=spec),
@@ -134,6 +175,7 @@ def _cmd_experiment(name: str, args) -> int:
         "fig11": lambda: exp.run_fig11(spec=spec),
         "ipc": lambda: exp.run_ipc_counters(spec=spec),
         "adaptive": lambda: exp.run_adaptive_dlb(spec=spec),
+        "breathing": lambda: exp.run_breathing(spec=spec),
     }[name]
     result = runner()
     if args.json:
@@ -425,12 +467,15 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     workload_parent = _workload_parent()
 
+    _EXPERIMENT_HELP = {
+        "adaptive": "adaptive Δt x DLB interaction study",
+        "breathing": "deposition per breathing pattern (ventilator cosim)",
+    }
     for name in ("table1", "fig6", "fig7", "fig8", "fig9", "fig10",
-                 "fig11", "ipc", "adaptive"):
+                 "fig11", "ipc", "adaptive", "breathing"):
         p = sub.add_parser(
             name, parents=[workload_parent],
-            help=("adaptive Δt x DLB interaction study"
-                  if name == "adaptive" else f"regenerate {name}"))
+            help=_EXPERIMENT_HELP.get(name, f"regenerate {name}"))
         p.add_argument("--json", action="store_true",
                        help="emit structured rows as JSON")
 

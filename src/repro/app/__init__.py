@@ -4,6 +4,8 @@ and the configurable simulation driver."""
 from .costs import CostModel, DEFAULT_COSTS
 from .driver import RunConfig, RunResult, run_cfpd
 from .workload import (
+    BREATHING_WAVEFORMS,
+    INLET_WAVEFORMS,
     LARGE_PARTICLE_RATIO,
     SMALL_PARTICLE_RATIO,
     Workload,
@@ -12,8 +14,10 @@ from .workload import (
 )
 
 __all__ = [
+    "BREATHING_WAVEFORMS",
     "CostModel",
     "DEFAULT_COSTS",
+    "INLET_WAVEFORMS",
     "LARGE_PARTICLE_RATIO",
     "RunConfig",
     "RunResult",

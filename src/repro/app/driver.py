@@ -153,6 +153,11 @@ class RunResult:
     #: steps taken vs the fixed grid, Δt values, max CFL, and — in local
     #: mode — subcycle totals and imbalance.  Empty for fixed-Δt runs.
     adaptive_diag: dict = field(default_factory=dict)
+    #: co-simulation diagnostics (Workload.cosim_summary): per-phase step
+    #: counts, hub buffer/transfer stats, injection windows, and
+    #: cycle-resolved deposition tallies.  Empty unless the spec uses a
+    #: breathing-family inlet waveform.
+    cosim_diag: dict = field(default_factory=dict)
 
     def mpi_seconds_by_rank(self):
         """Blocking-MPI time per rank (needs collect_mpi_trace=True)."""
@@ -674,12 +679,16 @@ def run_cfpd(config: RunConfig,
         raise ValueError(f"unknown mode {config.mode!r}")
     world.run(procs)
     from ..perf.instrument import engine_counters
+    from .workload import BREATHING_WAVEFORMS
     adaptive_diag = {}
     if wl.spec.adaptive != "off":
         fluid_n = config.nranks if config.mode == "sync" \
             else config.fluid_ranks
         adaptive_diag = wl.schedule_summary(
             nranks=fluid_n, method=config.partition_method)
+    cosim_diag = {}
+    if wl.spec.inlet_waveform in BREATHING_WAVEFORMS:
+        cosim_diag = wl.cosim_summary()
     return RunResult(config=config,
                      total_time=engine.now,
                      phase_log=ctx.log,
@@ -691,4 +700,5 @@ def run_cfpd(config: RunConfig,
                      faults=injector,
                      checkpoints=checkpoints,
                      engine_diag=engine_counters(engine),
-                     adaptive_diag=adaptive_diag)
+                     adaptive_diag=adaptive_diag,
+                     cosim_diag=cosim_diag)

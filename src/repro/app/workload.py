@@ -21,6 +21,14 @@ from typing import Optional
 
 import numpy as np
 
+from ..cosim import (
+    BREATHING_PHASES,
+    BreathingPattern,
+    CosimHub,
+    LungModel,
+    VentilatorSettings,
+    hub_for,
+)
 from ..fem import (
     CflController,
     DtLadder,
@@ -42,18 +50,32 @@ from ..particles import (
     NewmarkTracker,
     ParticleProperties,
     ParticleState,
+    STATUS_ACTIVE,
+    STATUS_DEPOSITED,
+    STATUS_ESCAPED,
     inject_at_inlet,
 )
 from ..solver import bicgstab, cg, jacobi_preconditioner
 from .costs import CostModel, DEFAULT_COSTS
 
 __all__ = ["WorkloadSpec", "Workload", "RankWork", "StepPlan",
-           "get_workload", "SMALL_PARTICLE_RATIO", "LARGE_PARTICLE_RATIO"]
+           "get_workload", "BREATHING_WAVEFORMS", "INLET_WAVEFORMS",
+           "SMALL_PARTICLE_RATIO", "LARGE_PARTICLE_RATIO"]
 
 #: The paper's particle:element ratios — 4e5 and 7e6 particles in a
 #: 17.7M-element mesh.  Scaled workloads keep these ratios.
 SMALL_PARTICLE_RATIO = 4e5 / 17.7e6
 LARGE_PARTICLE_RATIO = 7e6 / 17.7e6
+
+#: The breathing waveform family: inlet transients derived from the 0D
+#: lung/ventilator model of :mod:`repro.cosim`.  Only these couple the
+#: waveform into the particle carrier field (see
+#: :meth:`Workload.trajectory`); the synthetic ``ramp``/``sine``
+#: transients keep their schedule-only semantics.
+BREATHING_WAVEFORMS = ("breathing", "ventilator")
+
+#: Every accepted ``WorkloadSpec.inlet_waveform`` mode.
+INLET_WAVEFORMS = ("steady", "ramp", "sine") + BREATHING_WAVEFORMS
 
 
 @dataclass(frozen=True)
@@ -86,17 +108,40 @@ class WorkloadSpec:
     dt_ladder_rungs: int = 3
     dt_ladder_ratio: float = 2.0
     #: inlet transient driving the CFL rate over time: ``"steady"``
-    #: (scale 1), ``"ramp"`` (0.2 + 0.8 t/T) or ``"sine"``
-    #: (0.6 + 0.4 sin(2pi t/T))
+    #: (scale 1), ``"ramp"`` (0.2 + 0.8 t/T), ``"sine"``
+    #: (0.6 + 0.4 sin(2pi t/T)), ``"breathing"`` (analytic
+    #: inhale/pause/exhale cycle of :class:`repro.cosim.BreathingPattern`)
+    #: or ``"ventilator"`` (the same cycle integrated by the 0D model and
+    #: forwarded through the buffered :class:`repro.cosim.CosimHub`)
     inlet_waveform: str = "steady"
+    # -- breathing-cycle parameters (the breathing waveform family) --------
+    #: breaths per minute of the ventilator driver
+    respiratory_rate: float = 15.0
+    #: tidal volume per breath, ml
+    tidal_volume: float = 350.0
+    #: inspiratory time, s
+    inspiratory_time: float = 1.0
+    #: end-inspiratory pause, s
+    inspiratory_pause: float = 0.25
+    #: CPAP support pressure, cmH2O
+    cpap: float = 0.0
+    #: breathing cycles mapped onto the simulated horizon ``t_end``
+    breathing_cycles: int = 1
+    #: ``"any"`` injects on the fixed grid; ``"inhale"`` moves each
+    #: nominal injection to the next inhalation window (drops those whose
+    #: window starts beyond ``t_end``) — requires a breathing waveform
+    injection_phase: str = "any"
+    #: aerosol particle diameter, m (the deposition-vs-size campaign axis)
+    particle_diameter: float = 4e-6
 
     def __post_init__(self):
         if self.adaptive not in ("off", "global", "local"):
             raise ValueError("adaptive must be 'off', 'global' or 'local', "
                              f"got {self.adaptive!r}")
-        if self.inlet_waveform not in ("steady", "ramp", "sine"):
-            raise ValueError("inlet_waveform must be 'steady', 'ramp' or "
-                             f"'sine', got {self.inlet_waveform!r}")
+        if self.inlet_waveform not in INLET_WAVEFORMS:
+            accepted = ", ".join(f"'{m}'" for m in INLET_WAVEFORMS)
+            raise ValueError(f"inlet_waveform must be one of {accepted}, "
+                             f"got {self.inlet_waveform!r}")
         if self.cfl_target <= 0:
             raise ValueError(f"cfl_target must be > 0, got {self.cfl_target}")
         if self.dt_ladder_rungs < 1:
@@ -105,6 +150,39 @@ class WorkloadSpec:
         if self.dt_ladder_ratio <= 1.0:
             raise ValueError("dt_ladder_ratio must be > 1, "
                              f"got {self.dt_ladder_ratio}")
+        if self.respiratory_rate <= 0:
+            raise ValueError("respiratory_rate must be > 0, "
+                             f"got {self.respiratory_rate}")
+        if self.tidal_volume <= 0:
+            raise ValueError(
+                f"tidal_volume must be > 0, got {self.tidal_volume}")
+        if self.inspiratory_time <= 0:
+            raise ValueError("inspiratory_time must be > 0, "
+                             f"got {self.inspiratory_time}")
+        if self.inspiratory_pause < 0:
+            raise ValueError("inspiratory_pause must be >= 0, "
+                             f"got {self.inspiratory_pause}")
+        if self.cpap < 0:
+            raise ValueError(f"cpap must be >= 0, got {self.cpap}")
+        if self.breathing_cycles < 1:
+            raise ValueError("breathing_cycles must be >= 1, "
+                             f"got {self.breathing_cycles}")
+        if self.injection_phase not in ("any", "inhale"):
+            raise ValueError("injection_phase must be 'any' or 'inhale', "
+                             f"got {self.injection_phase!r}")
+        if self.particle_diameter <= 0:
+            raise ValueError("particle_diameter must be > 0, "
+                             f"got {self.particle_diameter}")
+        if self.injection_phase == "inhale" \
+                and self.inlet_waveform not in BREATHING_WAVEFORMS:
+            raise ValueError(
+                "injection_phase='inhale' requires a breathing waveform "
+                f"({' or '.join(BREATHING_WAVEFORMS)}), "
+                f"got inlet_waveform={self.inlet_waveform!r}")
+        if self.inlet_waveform in BREATHING_WAVEFORMS:
+            # full cross-field validation (e.g. room to exhale, CPAP not
+            # defeating passive exhalation) — eager, like everything else
+            self.breathing_pattern()
 
     def particle_count(self, nelem: int) -> int:
         """Particles injected *per injection* for a mesh of ``nelem``
@@ -141,17 +219,55 @@ class WorkloadSpec:
         return CflController(cfl_target=self.cfl_target,
                              ladder=self.ladder())
 
+    # -- breathing-cycle mapping ------------------------------------------
+    def breathing_pattern(self) -> BreathingPattern:
+        """The closed-form lung/ventilator cycle of this spec."""
+        return BreathingPattern(
+            lung=LungModel(),
+            ventilator=VentilatorSettings(
+                tidal_volume=self.tidal_volume,
+                respiratory_rate=self.respiratory_rate,
+                inspiratory_time=self.inspiratory_time,
+                inspiratory_pause=self.inspiratory_pause,
+                cpap=self.cpap))
+
+    @property
+    def breathing_time_scale(self) -> float:
+        """Breathing seconds per simulated second: ``breathing_cycles``
+        full breaths are mapped onto the solver horizon ``t_end``."""
+        return (self.breathing_cycles
+                * self.breathing_pattern().ventilator.cycle_time
+                / self.t_end)
+
+    def breathing_time(self, t: float) -> float:
+        """Simulated time ``t`` mapped to breathing time (cyclic beyond
+        ``t_end`` — defined for every ``t`` the solver may query)."""
+        return t * self.breathing_time_scale
+
+    def breathing_hub(self) -> CosimHub:
+        """The (process-cached) co-simulation hub of a ventilator spec."""
+        return hub_for(self.breathing_pattern(), self.breathing_cycles,
+                       self.t_end)
+
     def waveform_scale(self, t: float) -> float:
         """Inlet-magnitude scale at simulated time ``t``.
 
         Drives the time-varying CFL rate — and, in local mode, the
         per-rank subcycle counts whose shifting profile the DLB study
         targets.  A pure function of ``(spec, t)``: bit-reproducible.
+        The breathing family additionally scales the carrier flow the
+        particles see (see :meth:`Workload.trajectory`): ``"breathing"``
+        evaluates the analytic cycle pointwise, ``"ventilator"`` forwards
+        the 0D model's integrated trace through the buffered hub.
         """
         if self.inlet_waveform == "ramp":
             return 0.2 + 0.8 * (t / self.t_end)
         if self.inlet_waveform == "sine":
             return 0.6 + 0.4 * float(np.sin(2.0 * np.pi * t / self.t_end))
+        if self.inlet_waveform == "breathing":
+            return self.breathing_pattern().scale_at(self.breathing_time(t))
+        if self.inlet_waveform == "ventilator":
+            return self.breathing_hub().scale_at(t)
         return 1.0
 
 
@@ -378,17 +494,30 @@ class Workload:
 
         Fixed-grid injection steps are mapped onto the schedule by
         simulated time (the first schedule step starting at or after the
-        nominal injection time); in ``off`` mode this is exactly
-        ``spec.injection_steps()``.
+        nominal injection time); in ``off`` mode with ungated injection
+        this is exactly ``spec.injection_steps()``.
+
+        With ``injection_phase="inhale"`` each nominal injection time is
+        first moved to the start of the next inhalation window of the
+        breathing cycle (times already inhaling stay put); injections
+        whose window begins at or beyond ``t_end`` are dropped — aerosol
+        is only released while the subject breathes in.
         """
         spec = self.spec
-        if spec.adaptive == "off":
+        gated = spec.injection_phase == "inhale"
+        if spec.adaptive == "off" and not gated:
             return set(spec.injection_steps())
         starts = [plan.t for plan in self.dt_schedule()]
         eps = 1e-9 * spec.t_end
+        pattern = spec.breathing_pattern() if gated else None
         out = set()
         for s in spec.injection_steps():
             t_inj = s * spec.dt
+            if gated:
+                t_b = pattern.next_inhale_start(spec.breathing_time(t_inj))
+                t_inj = t_b / spec.breathing_time_scale
+                if t_inj >= spec.t_end - eps:
+                    continue
             idx = len(starts) - 1
             for i, t0 in enumerate(starts):
                 if t0 >= t_inj - eps:
@@ -521,25 +650,53 @@ class Workload:
         return self._sgs_norms
 
     # -- particles ------------------------------------------------------------
+    def _tracker(self) -> NewmarkTracker:
+        """The spec's particle tracker (diameter from the spec)."""
+        return NewmarkTracker(
+            self.flow,
+            particles=ParticleProperties(
+                diameter=self.spec.particle_diameter),
+            fluid=FluidProperties())
+
+    def _step_particles(self, tracker, state, plan) -> None:
+        """Advance ``state`` by one schedule step.
+
+        For the breathing waveform family the carrier flow (and the
+        injection speed, via :meth:`_inject`) is scaled by the step's
+        waveform factor — the particles actually feel the inhale /
+        pause / exhale transient.  The synthetic ``ramp``/``sine``
+        waveforms keep their pre-cosim schedule-only semantics, so every
+        existing trajectory replays bit for bit.
+        """
+        if self.spec.inlet_waveform in BREATHING_WAVEFORMS:
+            tracker.step(state, plan.dt, flow_scale=plan.scale)
+        else:
+            tracker.step(state, plan.dt)
+
+    def _inject(self, state, s: int, plan) -> None:
+        """Inject a fresh population at schedule step ``s``."""
+        scale = plan.scale \
+            if self.spec.inlet_waveform in BREATHING_WAVEFORMS else 1.0
+        state.extend(inject_at_inlet(
+            self.airway, self.n_particles,
+            seed=self.spec.injection_seed + s,
+            speed_fraction=0.5 * scale))
+
     def trajectory(self) -> list:
         """Per step: (positions of active particles at step start, state
         snapshot counts).  Computed once with the real tracker."""
         if self._trajectory is None:
             injection_steps = self.injection_step_set()
             state = ParticleState.empty()
-            tracker = NewmarkTracker(self.flow,
-                                     particles=ParticleProperties(),
-                                     fluid=FluidProperties())
+            tracker = self._tracker()
             steps = []
             for s, plan in enumerate(self.dt_schedule()):
                 if s in injection_steps:
-                    state.extend(inject_at_inlet(
-                        self.airway, self.n_particles,
-                        seed=self.spec.injection_seed + s))
+                    self._inject(state, s, plan)
                 act = state.active
                 steps.append({"positions": state.x[act].copy(),
                               "counts": state.counts()})
-                tracker.step(state, plan.dt)
+                self._step_particles(tracker, state, plan)
             self._final_particle_state = state
             self._trajectory = steps
         return self._trajectory
@@ -553,15 +710,11 @@ class Workload:
         """
         injection_steps = self.injection_step_set()
         state = ParticleState.empty()
-        tracker = NewmarkTracker(self.flow,
-                                 particles=ParticleProperties(),
-                                 fluid=FluidProperties())
+        tracker = self._tracker()
         for s, plan in enumerate(self.dt_schedule()[:step]):
             if s in injection_steps:
-                state.extend(inject_at_inlet(
-                    self.airway, self.n_particles,
-                    seed=self.spec.injection_seed + s))
-            tracker.step(state, plan.dt)
+                self._inject(state, s, plan)
+            self._step_particles(tracker, state, plan)
         return state
 
     @property
@@ -573,6 +726,72 @@ class Workload:
         """Particle status counts after the last step."""
         self.trajectory()
         return self._final_particle_state.counts()
+
+    def cosim_summary(self) -> dict:
+        """Diagnostics of a breathing-coupled run (for ``RunResult``).
+
+        Per-phase step counts, hub buffer/transfer statistics (ventilator
+        waveform), injection windows, and cycle-resolved deposition
+        tallies — all derived from the deterministic schedule and
+        trajectory, so two bit-identical runs report bit-identical
+        summaries.
+        """
+        spec = self.spec
+        if spec.inlet_waveform not in BREATHING_WAVEFORMS:
+            return {}
+        pattern = spec.breathing_pattern()
+        schedule = self.dt_schedule()
+        cycle_time = pattern.ventilator.cycle_time
+        phases = [pattern.phase_at(spec.breathing_time(plan.t))[0]
+                  for plan in schedule]
+        cycles = [min(int(spec.breathing_time(plan.t) // cycle_time),
+                      spec.breathing_cycles - 1) for plan in schedule]
+        steps_by_phase = {name: phases.count(name)
+                          for name in BREATHING_PHASES}
+        # per-step deposition deltas, attributed to the phase/cycle the
+        # step started in
+        traj = self.trajectory()
+        final = self._final_particle_state.counts()
+        deposited_by_phase = {name: 0 for name in BREATHING_PHASES}
+        deposited_by_cycle = [0] * spec.breathing_cycles
+        for s in range(len(schedule)):
+            before = traj[s]["counts"][STATUS_DEPOSITED]
+            after = (traj[s + 1]["counts"][STATUS_DEPOSITED]
+                     if s + 1 < len(schedule) else final[STATUS_DEPOSITED])
+            delta = int(after - before)
+            deposited_by_phase[phases[s]] += delta
+            deposited_by_cycle[cycles[s]] += delta
+        injections = sorted(self.injection_step_set())
+        out = {
+            "waveform": spec.inlet_waveform,
+            "pattern": {
+                "respiratory_rate": spec.respiratory_rate,
+                "tidal_volume": spec.tidal_volume,
+                "inspiratory_time": spec.inspiratory_time,
+                "inspiratory_pause": spec.inspiratory_pause,
+                "cpap": spec.cpap,
+                "cycle_time": cycle_time,
+                "cycles": spec.breathing_cycles,
+            },
+            "n_sim_steps": len(schedule),
+            "steps_by_phase": steps_by_phase,
+            "injection_steps": injections,
+            "injection_phases": [phases[s] for s in injections],
+            "injection_phase_policy": spec.injection_phase,
+            "total_injected": self.total_injected,
+            "deposited": final[STATUS_DEPOSITED],
+            "escaped": final[STATUS_ESCAPED],
+            "active": final[STATUS_ACTIVE],
+            "deposition_fraction": (
+                final[STATUS_DEPOSITED] / self.total_injected
+                if self.total_injected else 0.0),
+            "deposited_by_phase": deposited_by_phase,
+            "deposited_by_cycle": deposited_by_cycle,
+        }
+        if spec.inlet_waveform == "ventilator":
+            out["hub"] = spec.breathing_hub().transfer_summary(
+                [plan.t for plan in schedule])
+        return out
 
     def particle_histograms(self, nranks: int, method: str = "rcb"
                             ) -> np.ndarray:

@@ -47,6 +47,7 @@ from .executor import (
 from .figures import (
     BUILTIN_CAMPAIGNS,
     adaptive_dlb_campaign,
+    breathing_campaign,
     ci_smoke_campaign,
     demo_campaign,
     dlb_figure_campaign,
@@ -78,6 +79,7 @@ __all__ = [
     "SupervisorConfig",
     "VirtualClock",
     "WallClock",
+    "breathing_campaign",
     "build_report",
     "ci_smoke_campaign",
     "classify_failure",

@@ -16,11 +16,13 @@ from typing import Optional
 from ..app import LARGE_PARTICLE_RATIO, SMALL_PARTICLE_RATIO, RunConfig, \
     WorkloadSpec
 from ..core import Strategy
+from ..cosim import VENTILATION_PATTERNS
 from .spec import CampaignSpec
 
 __all__ = ["BUILTIN_CAMPAIGNS", "CLUSTER_TOTALS", "COUPLED_SPLITS",
-           "adaptive_dlb_campaign", "ci_smoke_campaign", "demo_campaign",
-           "dlb_figure_campaign", "get_campaign", "hybrid_sweep_campaign"]
+           "adaptive_dlb_campaign", "breathing_campaign",
+           "ci_smoke_campaign", "demo_campaign", "dlb_figure_campaign",
+           "get_campaign", "hybrid_sweep_campaign"]
 
 #: Total cores used per cluster in the paper's Fig. 6/7 sweeps.
 CLUSTER_TOTALS = {"marenostrum4": 96, "thunder": 192}
@@ -120,6 +122,56 @@ def adaptive_dlb_campaign(cluster: str = "thunder",
               ("config.dlb", [False, True])])
 
 
+def breathing_campaign(cluster: str = "thunder",
+                       spec: Optional[WorkloadSpec] = None,
+                       total: Optional[int] = None,
+                       patterns=None,
+                       cpaps=(0.0, 1.0),
+                       diameters=(2e-6, 8e-6),
+                       tidal_volumes=None,
+                       name: Optional[str] = None) -> CampaignSpec:
+    """Deposition fraction per breathing pattern (the cosim family).
+
+    One run cell per named ventilation pattern of
+    :data:`repro.cosim.VENTILATION_PATTERNS` (the per-pattern parameter
+    overrides ride the ``"spec.<field>"`` path, tagged with the pattern
+    name), crossed with a CPAP-pressure x particle-diameter grid (plus an
+    optional tidal-volume axis).  The base workload couples the
+    ventilator through the buffered hub (``inlet_waveform="ventilator"``)
+    with injection gated to inhalation and the CFL ladder consuming the
+    transient (``adaptive="global"``); the fixed-grid horizon (4096 steps
+    of 1e-4 s) is long enough for deposition to actually happen under
+    breathing-scaled carrier flow, so the fractions differentiate the
+    patterns.  Deposition is a workload (rank-independent) quantity, so
+    the default rank count is a quarter of the cluster — pass ``total``
+    for the full-machine runtime study.
+    """
+    total = total if total is not None else CLUSTER_TOTALS[cluster] // 4
+    base = spec if spec is not None else WorkloadSpec(
+        inlet_waveform="ventilator", injection_phase="inhale",
+        adaptive="global", n_steps=4096, injection_interval=1024)
+    runs = []
+    for pname in (patterns if patterns is not None
+                  else tuple(VENTILATION_PATTERNS)):
+        cell = {f"spec.{field}": value
+                for field, value in VENTILATION_PATTERNS[pname].items()}
+        cell["tags.pattern"] = pname
+        runs.append(cell)
+    grid = [("spec.cpap", list(cpaps)),
+            ("spec.particle_diameter", list(diameters))]
+    if tidal_volumes:
+        grid.insert(0, ("spec.tidal_volume", list(tidal_volumes)))
+    return CampaignSpec(
+        name=name or f"breathing-{cluster}",
+        base_config=RunConfig(cluster=cluster, nranks=total,
+                              threads_per_rank=1,
+                              assembly_strategy=Strategy.MULTIDEP,
+                              sgs_strategy=Strategy.ATOMICS),
+        base_spec=base,
+        runs=runs,
+        grid=grid)
+
+
 def demo_campaign(spec: Optional[WorkloadSpec] = None) -> CampaignSpec:
     """A small but non-trivial sweep for the quickstart example: rank
     counts x DLB on a single Thunder node."""
@@ -160,6 +212,8 @@ BUILTIN_CAMPAIGNS = {
         "thunder", _load(spec, LARGE_PARTICLE_RATIO), name="fig11"),
     "adaptive-dlb": lambda spec=None: adaptive_dlb_campaign(
         "thunder", spec, name="adaptive-dlb"),
+    "breathing": lambda spec=None: breathing_campaign(
+        "thunder", spec, name="breathing"),
 }
 
 

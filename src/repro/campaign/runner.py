@@ -72,6 +72,8 @@ def job_record(job: Job, result) -> dict:
         }
     if result.adaptive_diag:
         metrics["adaptive"] = result.adaptive_diag
+    if result.cosim_diag:
+        metrics["cosim"] = result.cosim_diag
     return serialize.plain({
         "schema": RECORD_SCHEMA,
         "fingerprint": job.fingerprint,

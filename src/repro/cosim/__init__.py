@@ -1,0 +1,42 @@
+"""Co-simulation: 0D lung/ventilator model coupled to the CFPD solver.
+
+Two layers, both pure functions of simulated state (the determinism
+contract of :mod:`repro.perf` extends through them):
+
+* :mod:`repro.cosim.lung` — lumped-parameter RC respiratory mechanics
+  with a ventilator/CPAP driver and a deterministic fixed-step
+  integrator producing sampled flow traces;
+* :mod:`repro.cosim.hub` — the InterscaleHUB-style buffered transformer
+  (receive / transform / forward) that turns a flow trace into inlet
+  boundary scale factors for the solver's CFL-driven Δt schedule.
+
+`WorkloadSpec` couples to this package through the ``"breathing"``
+(analytic) and ``"ventilator"`` (hub-mediated) inlet waveforms; see
+``docs/cosim.md``.
+"""
+
+from .hub import CosimHub, HubPolicy, hub_for
+from .lung import (
+    BREATHING_PHASES,
+    BreathingPattern,
+    FlowTrace,
+    LungModel,
+    SCALE_FLOOR,
+    VENTILATION_PATTERNS,
+    VentilatorSettings,
+    simulate_breathing,
+)
+
+__all__ = [
+    "BREATHING_PHASES",
+    "BreathingPattern",
+    "CosimHub",
+    "FlowTrace",
+    "HubPolicy",
+    "LungModel",
+    "SCALE_FLOOR",
+    "VENTILATION_PATTERNS",
+    "VentilatorSettings",
+    "hub_for",
+    "simulate_breathing",
+]

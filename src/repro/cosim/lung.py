@@ -1,0 +1,325 @@
+"""Lumped-parameter lung/ventilator model (0D side of the co-simulation).
+
+The respiratory system is modelled as the classic single-compartment RC
+circuit: one airway resistance ``R_aw`` in series with one
+respiratory-system compliance ``C_rs``::
+
+    P_ao(t) = PEEP + CPAP + R_aw Q(t) + V(t)/C_rs        dV/dt = Q
+
+driven by a volume-controlled ventilator with an inspiratory /
+inspiratory-pause / passive-expiration cycle (shape per SNIPPETS
+snippet 2):
+
+* **inhale** (``0 <= s < t_i``): constant driver flow ``Q = v_t/t_i``
+  plus the CPAP support flow ``CPAP/R_aw``;
+* **pause** (``t_i <= s < t_i + t_ip``): zero flow, volume held at the
+  end-inspiratory value;
+* **exhale** (the rest of the cycle): passive relaxation against the
+  circuit, ``Q(s) = -Q_e0 exp(-s/tau)`` with ``tau = R_aw C_rs`` and
+  ``Q_e0 = (V_end/C_rs - CPAP)/R_aw``.
+
+Everything here is a pure function of simulated time: the analytic
+:class:`BreathingPattern` evaluates phase/flow/volume in closed form, and
+:func:`simulate_breathing` integrates the same ODE with a deterministic
+fixed-step explicit Euler scheme to produce the sampled
+:class:`FlowTrace` the co-simulation hub buffers.  No wall clock, no
+randomness — reruns are bit-identical by construction.
+
+Units follow the bedside convention of the source model: pressures in
+cmH2O, volumes in ml, flows in ml/s, resistance in cmH2O/(l/s) (converted
+internally to cmH2O/(ml/s)), compliance in ml/cmH2O.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BREATHING_PHASES",
+    "BreathingPattern",
+    "FlowTrace",
+    "LungModel",
+    "VENTILATION_PATTERNS",
+    "VentilatorSettings",
+    "simulate_breathing",
+]
+
+#: Phase names in cycle order; also the fixed key order of every
+#: per-phase diagnostic dict built from them.
+BREATHING_PHASES = ("inhale", "pause", "exhale")
+
+#: Inlet scale factors never drop below this: a real circuit keeps a
+#: bias flow through the airway even at zero net lung flow (CPAP/HFNC
+#: systems), and a strictly zero inlet would make the CFL rate — and
+#: with it the adaptive Δt ladder walk — degenerate.
+SCALE_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class LungModel:
+    """Single-compartment respiratory mechanics (healthy adult default)."""
+
+    #: airway resistance, cmH2O/(l/s)
+    r_aw: float = 3.0
+    #: respiratory-system compliance, ml/cmH2O
+    c_rs: float = 60.0
+
+    def __post_init__(self):
+        if self.r_aw <= 0:
+            raise ValueError(f"r_aw must be > 0, got {self.r_aw}")
+        if self.c_rs <= 0:
+            raise ValueError(f"c_rs must be > 0, got {self.c_rs}")
+
+    @property
+    def resistance(self) -> float:
+        """Airway resistance in cmH2O/(ml/s)."""
+        return self.r_aw / 1000.0
+
+    @property
+    def time_constant(self) -> float:
+        """Expiratory time constant ``tau = R_aw C_rs`` in seconds."""
+        return self.resistance * self.c_rs
+
+
+@dataclass(frozen=True)
+class VentilatorSettings:
+    """Volume-controlled ventilator / CPAP driver settings."""
+
+    #: tidal volume delivered per breath, ml
+    tidal_volume: float = 350.0
+    #: positive end-expiratory pressure, cmH2O
+    peep: float = 5.0
+    #: breaths per minute
+    respiratory_rate: float = 15.0
+    #: inspiratory time, s
+    inspiratory_time: float = 1.0
+    #: end-inspiratory pause, s
+    inspiratory_pause: float = 0.25
+    #: continuous positive airway pressure support, cmH2O
+    cpap: float = 0.0
+
+    def __post_init__(self):
+        if self.tidal_volume <= 0:
+            raise ValueError(
+                f"tidal_volume must be > 0, got {self.tidal_volume}")
+        if self.respiratory_rate <= 0:
+            raise ValueError(
+                f"respiratory_rate must be > 0, got {self.respiratory_rate}")
+        if self.inspiratory_time <= 0:
+            raise ValueError(
+                f"inspiratory_time must be > 0, got {self.inspiratory_time}")
+        if self.inspiratory_pause < 0:
+            raise ValueError(
+                f"inspiratory_pause must be >= 0, "
+                f"got {self.inspiratory_pause}")
+        if self.peep < 0:
+            raise ValueError(f"peep must be >= 0, got {self.peep}")
+        if self.cpap < 0:
+            raise ValueError(f"cpap must be >= 0, got {self.cpap}")
+        if self.expiratory_time <= 0:
+            raise ValueError(
+                "inspiratory_time + inspiratory_pause "
+                f"({self.inspiratory_time + self.inspiratory_pause}) must "
+                f"leave room to exhale within the cycle time "
+                f"({self.cycle_time})")
+
+    @property
+    def cycle_time(self) -> float:
+        """Breath period ``60 / respiratory_rate`` in seconds."""
+        return 60.0 / self.respiratory_rate
+
+    @property
+    def expiratory_time(self) -> float:
+        """Time left for passive exhalation within one cycle."""
+        return self.cycle_time - self.inspiratory_time \
+            - self.inspiratory_pause
+
+    @property
+    def inspiratory_flow(self) -> float:
+        """Constant driver flow during inhalation, ml/s."""
+        return self.tidal_volume / self.inspiratory_time
+
+
+@dataclass(frozen=True)
+class BreathingPattern:
+    """Closed-form lung+ventilator cycle: phase, flow, volume, pressure.
+
+    Each cycle starts from functional residual capacity (``V = 0`` above
+    FRC); the residual at end-expiration is ``exp(-t_e/tau)`` of the
+    inhaled volume — negligible for physiological settings (``t_e/tau``
+    ~ 15 at the defaults) and treated as re-equilibrated between cycles.
+    """
+
+    lung: LungModel = LungModel()
+    ventilator: VentilatorSettings = VentilatorSettings()
+
+    def __post_init__(self):
+        if self.exhale_flow0 <= 0:
+            raise ValueError(
+                "cpap too high for passive exhalation: end-inspiratory "
+                "recoil pressure does not exceed the support pressure")
+
+    # -- derived flows -----------------------------------------------------
+
+    @property
+    def support_flow(self) -> float:
+        """CPAP-driven support flow ``CPAP / R_aw`` in ml/s."""
+        return self.ventilator.cpap / self.lung.resistance
+
+    @property
+    def inhale_flow(self) -> float:
+        """Total inspiratory flow: driver plus CPAP support, ml/s."""
+        return self.ventilator.inspiratory_flow + self.support_flow
+
+    @property
+    def end_volume(self) -> float:
+        """Volume above FRC at end of inhalation, ml."""
+        return self.inhale_flow * self.ventilator.inspiratory_time
+
+    @property
+    def exhale_flow0(self) -> float:
+        """Initial expiratory flow magnitude ``(V_end/C - CPAP)/R``."""
+        return (self.end_volume / self.lung.c_rs
+                - self.ventilator.cpap) / self.lung.resistance
+
+    @property
+    def peak_flow(self) -> float:
+        """Largest flow magnitude over the cycle (normalizes scales)."""
+        return max(self.inhale_flow, self.exhale_flow0)
+
+    # -- pointwise evaluation ----------------------------------------------
+
+    def phase_at(self, t: float):
+        """``(phase_name, time_into_phase)`` at simulated breathing time
+        ``t`` (cyclic; any real ``t`` is mapped into the first cycle)."""
+        vent = self.ventilator
+        tau = math.fmod(t, vent.cycle_time)
+        if tau < 0.0:
+            tau += vent.cycle_time
+        if tau < vent.inspiratory_time:
+            return "inhale", tau
+        tau -= vent.inspiratory_time
+        if tau < vent.inspiratory_pause:
+            return "pause", tau
+        return "exhale", tau - vent.inspiratory_pause
+
+    def flow_at(self, t: float) -> float:
+        """Airway flow in ml/s (positive into the lung)."""
+        phase, s = self.phase_at(t)
+        if phase == "inhale":
+            return self.inhale_flow
+        if phase == "pause":
+            return 0.0
+        return -self.exhale_flow0 * math.exp(-s / self.lung.time_constant)
+
+    def volume_at(self, t: float) -> float:
+        """Volume above FRC in ml."""
+        phase, s = self.phase_at(t)
+        if phase == "inhale":
+            return self.inhale_flow * s
+        if phase == "pause":
+            return self.end_volume
+        rest = self.lung.c_rs * self.ventilator.cpap
+        return rest + (self.end_volume - rest) \
+            * math.exp(-s / self.lung.time_constant)
+
+    def pressure_at(self, t: float) -> float:
+        """Airway-opening pressure ``PEEP + CPAP + R Q + V/C`` in cmH2O."""
+        vent = self.ventilator
+        return (vent.peep + vent.cpap
+                + self.lung.resistance * self.flow_at(t)
+                + self.volume_at(t) / self.lung.c_rs)
+
+    def scale_at(self, t: float) -> float:
+        """Inlet boundary scale factor: ``|Q|/Q_peak`` floored at
+        :data:`SCALE_FLOOR` (the CPAP/bias-flow floor)."""
+        return max(SCALE_FLOOR, abs(self.flow_at(t)) / self.peak_flow)
+
+    def next_inhale_start(self, t: float) -> float:
+        """``t`` itself if inhaling at ``t``, else the start of the next
+        inhalation — the injection-gating primitive."""
+        if self.phase_at(t)[0] == "inhale":
+            return t
+        cycle = self.ventilator.cycle_time
+        return (math.floor(t / cycle) + 1.0) * cycle
+
+
+#: Named ventilation presets — `WorkloadSpec` field overrides, selectable
+#: from the CLI via ``--breathing-pattern``.
+VENTILATION_PATTERNS = {
+    "rest": {"respiratory_rate": 12.0, "tidal_volume": 400.0,
+             "inspiratory_time": 1.2, "inspiratory_pause": 0.25},
+    "deep": {"respiratory_rate": 8.0, "tidal_volume": 700.0,
+             "inspiratory_time": 1.8, "inspiratory_pause": 0.4},
+    "rapid": {"respiratory_rate": 24.0, "tidal_volume": 250.0,
+              "inspiratory_time": 0.7, "inspiratory_pause": 0.1},
+}
+
+
+@dataclass(frozen=True, eq=False)
+class FlowTrace:
+    """Sampled breathing trace: what the 0D side hands to the hub.
+
+    ``phase[k]`` indexes :data:`BREATHING_PHASES`.
+    """
+
+    dt: float
+    t: np.ndarray
+    flow: np.ndarray
+    volume: np.ndarray
+    pressure: np.ndarray
+    phase: np.ndarray
+
+    @property
+    def duration(self) -> float:
+        """Total covered breathing time ``n_samples * dt``."""
+        return len(self.t) * self.dt
+
+    @property
+    def peak_flow(self) -> float:
+        """Largest sampled flow magnitude."""
+        return float(np.abs(self.flow).max())
+
+
+def simulate_breathing(pattern: BreathingPattern, n_cycles: int = 1,
+                       samples_per_cycle: int = 512) -> FlowTrace:
+    """Integrate the 0D model with deterministic fixed-step explicit Euler.
+
+    The driver flow is imposed during inhale/pause; exhalation solves the
+    passive RC relaxation ``dV/dt = -(V/C - CPAP)/R``.  Step size is
+    ``cycle_time / samples_per_cycle`` — a fixed fraction of the cycle, so
+    the trace of a given pattern is a pure function of its parameters.
+    """
+    if n_cycles < 1:
+        raise ValueError(f"n_cycles must be >= 1, got {n_cycles}")
+    if samples_per_cycle < 8:
+        raise ValueError(
+            f"samples_per_cycle must be >= 8, got {samples_per_cycle}")
+    lung, vent = pattern.lung, pattern.ventilator
+    dt = vent.cycle_time / samples_per_cycle
+    n = n_cycles * samples_per_cycle
+    t = np.arange(n) * dt
+    flow = np.zeros(n)
+    volume = np.zeros(n)
+    pressure = np.zeros(n)
+    phase = np.zeros(n, dtype=np.int8)
+    v = 0.0
+    for k in range(n):
+        name, _ = pattern.phase_at(t[k])
+        if name == "inhale":
+            q = pattern.inhale_flow
+        elif name == "pause":
+            q = 0.0
+        else:
+            q = -(v / lung.c_rs - vent.cpap) / lung.resistance
+        flow[k] = q
+        volume[k] = v
+        pressure[k] = vent.peep + vent.cpap + lung.resistance * q \
+            + v / lung.c_rs
+        phase[k] = BREATHING_PHASES.index(name)
+        v += dt * q
+    return FlowTrace(dt=dt, t=t, flow=flow, volume=volume,
+                     pressure=pressure, phase=phase)

@@ -1,0 +1,154 @@
+"""Deposition fraction per breathing pattern (the cosim experiment family).
+
+The physiologically meaningful question of the source paper's target
+application: how much of an inhaled drug aerosol deposits in the airway,
+and how does that depend on *how the subject breathes*?  The campaign of
+:func:`repro.campaign.breathing_campaign` sweeps the named ventilation
+patterns of :data:`repro.cosim.VENTILATION_PATTERNS` against CPAP
+pressure and particle diameter (optionally tidal volume), each cell a
+ventilator-coupled run: the 0D lung model drives the inlet through the
+buffered co-simulation hub, the CFL ladder consumes the transient, and
+injections are gated to inhalation windows.
+
+Each cell reports its deposition fraction (deposited / injected over the
+whole run) plus the per-phase deposition tallies of
+``RunResult.cosim_diag`` — the rows behind the "deposition per breathing
+pattern" figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..app import WorkloadSpec
+from ..campaign import breathing_campaign, run_campaign
+from .common import format_table
+
+__all__ = ["BreathingResult", "run_breathing"]
+
+
+@dataclass
+class BreathingResult:
+    """The breathing-pattern sweep.
+
+    ``cells`` maps ``(pattern, cpap, diameter)`` — or
+    ``(pattern, tidal_volume, cpap, diameter)`` when the tidal-volume
+    axis is active — to that run's metrics dict: always
+    ``deposition_fraction``, ``deposited``, ``escaped``, ``injected``,
+    ``n_sim_steps``, ``steps_by_phase`` and ``total_time``; hub-coupled
+    cells add the hub ``staleness_max``.
+    """
+
+    cluster: str
+    cells: dict
+
+    def patterns(self) -> list:
+        """Pattern names present, in first-seen (campaign) order."""
+        seen: list = []
+        for key in self.cells:
+            if key[0] not in seen:
+                seen.append(key[0])
+        return seen
+
+    def deposition_fraction(self, *key) -> float:
+        """Deposition fraction of one cell."""
+        return self.cells[key]["deposition_fraction"]
+
+    def by_pattern(self) -> dict:
+        """Mean deposition fraction per pattern (over the other axes)."""
+        out: dict = {}
+        for key, cell in self.cells.items():
+            out.setdefault(key[0], []).append(cell["deposition_fraction"])
+        return {name: sum(vals) / len(vals)
+                for name, vals in out.items()}
+
+    def format(self) -> str:
+        """The sweep as a paper-style table."""
+        rows = []
+        for key, cell in self.cells.items():
+            pattern, rest = key[0], key[1:]
+            cpap, diameter = rest[-2], rest[-1]
+            rows.append((
+                pattern,
+                f"{cell['tidal_volume']:.0f}",
+                f"{cpap:.1f}",
+                f"{diameter * 1e6:.1f}",
+                f"{cell['deposition_fraction']:.3f}",
+                f"{cell['deposited']}/{cell['injected']}",
+                str(cell["n_sim_steps"]),
+            ))
+        table = format_table(
+            ["pattern", "V_t (ml)", "CPAP", "d (um)", "dep. frac",
+             "dep/inj", "steps"],
+            rows, title=f"Deposition per breathing pattern on "
+                        f"{self.cluster}")
+        means = "   ".join(f"{name}: {frac:.3f}"
+                           for name, frac in self.by_pattern().items())
+        return f"{table}\nmean deposition fraction — {means}"
+
+    def figure(self) -> str:
+        """ASCII bar chart of mean deposition fraction per pattern."""
+        by = self.by_pattern()
+        peak = max(by.values()) or 1.0
+        width = 40
+        lines = ["deposition fraction by breathing pattern",
+                 "-" * (width + 18)]
+        for name, frac in by.items():
+            bar = "#" * max(1, int(round(width * frac / peak))) \
+                if frac > 0 else ""
+            lines.append(f"{name:>8} {frac:6.3f} |{bar}")
+        return "\n".join(lines)
+
+    def to_rows(self) -> list:
+        """Structured rows, one dict per cell."""
+        rows = []
+        for key, cell in self.cells.items():
+            row = {"cluster": self.cluster, "pattern": key[0],
+                   "cpap": key[-2], "diameter": key[-1]}
+            if len(key) == 4:
+                row["tidal_volume"] = key[1]
+            row.update(cell)
+            rows.append(row)
+        return rows
+
+
+def run_breathing(cluster: str = "thunder",
+                  spec: Optional[WorkloadSpec] = None,
+                  total: Optional[int] = None,
+                  patterns=None,
+                  cpaps=(0.0, 1.0),
+                  diameters=(2e-6, 8e-6),
+                  tidal_volumes=None) -> BreathingResult:
+    """Run the breathing-pattern deposition campaign and collect rows."""
+    campaign = breathing_campaign(
+        cluster, spec=spec, total=total, patterns=patterns, cpaps=cpaps,
+        diameters=diameters, tidal_volumes=tidal_volumes)
+    run = run_campaign(campaign)
+    cells: dict = {}
+    for outcome in run.outcomes:
+        if outcome.record is None:
+            raise RuntimeError(
+                f"{outcome.job.job_id} failed: {outcome.error}")
+        job = outcome.job
+        metrics = outcome.record["metrics"]
+        cosim = metrics.get("cosim", {})
+        cell = {
+            "total_time": metrics["total_time"],
+            "tidal_volume": job.spec.tidal_volume,
+            "n_sim_steps": cosim.get("n_sim_steps", job.spec.n_steps),
+            "steps_by_phase": cosim.get("steps_by_phase", {}),
+            "injected": cosim.get("total_injected", 0),
+            "deposited": cosim.get("deposited", 0),
+            "escaped": cosim.get("escaped", 0),
+            "deposition_fraction": cosim.get("deposition_fraction", 0.0),
+            "deposited_by_phase": cosim.get("deposited_by_phase", {}),
+        }
+        if "hub" in cosim:
+            cell["staleness_max"] = cosim["hub"].get("staleness_max", 0.0)
+        key = [dict(job.tags)["pattern"]]
+        if tidal_volumes:
+            key.append(job.spec.tidal_volume)
+        key.extend([job.spec.cpap, job.spec.particle_diameter])
+        cells[tuple(key)] = cell
+    return BreathingResult(cluster=cluster, cells=cells)

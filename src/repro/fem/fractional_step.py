@@ -81,6 +81,8 @@ FLUID_COUNTERS = {
     "adaptive_steps": 0,
     #: local-mode subcycles replayed by the app driver
     "adaptive_subcycles": 0,
+    #: inlet Dirichlet values rescaled (co-simulation transient forwarding)
+    "inlet_rescales": 0,
 }
 
 
@@ -131,6 +133,9 @@ class StepInfo:
     cfl: float = 0.0
     rung: int = -1
     subcycles: int = 1
+    #: inlet Dirichlet scale imposed during the step (co-simulation
+    #: forwarding; 1.0 when no transient is driving the inlet)
+    inlet_scale: float = 1.0
 
 
 class FractionalStepSolver:
@@ -197,6 +202,9 @@ class FractionalStepSolver:
         self._vel_dofs = (3 * np.repeat(vel_nodes, 3)
                           + np.tile([0, 1, 2], len(vel_nodes)))
         self._vel_values = vel_values.reshape(-1)
+        #: unscaled BC values — the reference the inlet transient scales
+        self._vel_values_base = self._vel_values
+        self._inlet_scale = 1.0
         # seed the prescribed values into the initial field
         self.u[vel_nodes] = vel_values
         # fast paths (toggle state captured at construction)
@@ -364,6 +372,31 @@ class FractionalStepSolver:
         FLUID_COUNTERS["momentum_rebuilt"] += 1
         return A, rhs, jacobi_preconditioner(A)
 
+    # -- inlet transient ----------------------------------------------------
+    def set_inlet_scale(self, scale: float) -> None:
+        """Scale every prescribed velocity BC by ``scale``.
+
+        The co-simulation forwarding surface: the hub (or any waveform)
+        multiplies the inlet Dirichlet values, and both momentum paths —
+        the recycled gather and the naive row replacement — read the
+        rescaled values on the next step, because Dirichlet *values* only
+        ever enter through the RHS and the projection re-imposition (the
+        recycler's slot structure is value-independent).  Wall nodes stay
+        exactly zero.  Pure state, no wall clock: a given scale sequence
+        reproduces bit-identical fields under every toggle combination.
+        """
+        scale = float(scale)
+        if scale <= 0:
+            raise ValueError(f"inlet scale must be > 0, got {scale}")
+        if scale == self._inlet_scale:
+            return
+        self._inlet_scale = scale
+        if scale == 1.0:
+            self._vel_values = self._vel_values_base
+        else:
+            self._vel_values = self._vel_values_base * scale
+        FLUID_COUNTERS["inlet_rescales"] += 1
+
     # -- one time step ------------------------------------------------------
     def step(self, tol: float = 1e-7, maxiter: int = 600) -> StepInfo:
         """Advance one dt; returns solver/divergence diagnostics."""
@@ -407,7 +440,7 @@ class FractionalStepSolver:
         return StepInfo(momentum_iterations=res_m.iterations,
                         pressure_iterations=res_p.iterations,
                         div_before=div_before, div_after=div_after,
-                        dt=dt)
+                        dt=dt, inlet_scale=self._inlet_scale)
 
     def run(self, n_steps: int, tol: float = 1e-7) -> list[StepInfo]:
         """Advance ``n_steps`` steps; returns the per-step diagnostics."""
@@ -415,7 +448,8 @@ class FractionalStepSolver:
 
     # -- adaptive time stepping ---------------------------------------------
     def advance_to(self, t_end: float, control=None, tol: float = 1e-7,
-                   maxiter: int = 600) -> list[StepInfo]:
+                   maxiter: int = 600,
+                   inlet_scale=None) -> list[StepInfo]:
         """Advance to simulated time ``t_end`` under a CFL controller.
 
         ``control`` is a :class:`~repro.fem.timestep.CflController` (default:
@@ -427,6 +461,11 @@ class FractionalStepSolver:
         dependent operator state is reused via the per-rung cache instead
         of rebuilt.  The final step is clipped to land exactly on
         ``t_end`` (one off-ladder rung, also cached).
+
+        ``inlet_scale`` is an optional callable ``t -> scale`` — e.g.
+        ``CosimHub.scale_at`` — evaluated at each step's start time and
+        imposed via :meth:`set_inlet_scale` before the step: the hub-driven
+        breathing transient consumed through the CFL controller.
 
         Deterministic by construction: the controller reads only simulated
         state, every float operation is fixed-order, and the fields are
@@ -449,6 +488,8 @@ class FractionalStepSolver:
         # drops straight to the CFL-admissible rung of the initial field
         rung = ladder.top
         while t_end - t > 1e-9 * t_end:
+            if inlet_scale is not None:
+                self.set_inlet_scale(inlet_scale(t))
             rate = cfl_rate(self.u, blocks)
             rung = control.rung_for(rate, rung)
             dt = min(ladder.dt_of(rung), t_end - t)

@@ -268,8 +268,17 @@ class NewmarkTracker:
             radial[miss] = r_m
         return self.flow.velocity_from_locate(seg_idx, radial)
 
-    def step(self, state: ParticleState, dt: float) -> ParticleState:
-        """Advance active particles by ``dt`` and apply wall/outlet rules."""
+    def step(self, state: ParticleState, dt: float,
+             flow_scale: float = 1.0) -> ParticleState:
+        """Advance active particles by ``dt`` and apply wall/outlet rules.
+
+        ``flow_scale`` uniformly scales the carrier velocity the particles
+        feel — the hook the breathing-cycle waveforms use to expose the
+        inhale/pause/exhale transient to the drag force.  The default 1.0
+        takes the exact pre-existing code path (no multiply), so legacy
+        trajectories replay bit for bit; any other value scales ``u_f``
+        identically in the fused and plain Newmark paths.
+        """
         idx = self._active_indices(state)
         if len(idx) == 0:
             return state
@@ -281,6 +290,8 @@ class NewmarkTracker:
             d = np.full(len(idx), self.particles.diameter)
             m = self.particles.mass
         u_f = self._fluid_velocity(state, idx, x)
+        if flow_scale != 1.0:
+            u_f = u_f * flow_scale
         k = drag_linear_coefficient_d(u_f, v, d, self.fluid)[:, None]
         # Newmark: v1 = v + dt[(1-g) a0 + g a1],  a1 = (k (u_f - v1))/m + g_eff
         # solve for v1 (k treated constant over the step):

@@ -38,7 +38,10 @@ once with the current defaults — failing if the simulated digests differ:
 the per-push form of the wall-clock-only contract.
 ``--digest-workload adaptive`` runs the same check through the adaptive
 time-stepping paths instead (CFL-controlled tube flow for the fluid
-toggles, a local-adaptive transient end-to-end spec otherwise).
+toggles, a local-adaptive transient end-to-end spec otherwise);
+``--digest-workload breathing`` through the ventilator-coupled cosim
+paths (hub-driven inlet rescale on the tube solver for the fluid
+toggles, the gated-injection ventilator spec end-to-end otherwise).
 
 Every end-to-end benchmark also records a digest of the simulated-time
 results under both toggle states: the report itself re-checks the PR's
@@ -76,7 +79,7 @@ TRAJECTORY_NOISE_FLOOR = 0.9
 TRAJECTORY_QUICK_FLOOR = 0.85
 
 _SCHEMA = "repro-bench-v1"
-_DEFAULT_OUT = "BENCH_pr9.json"
+_DEFAULT_OUT = "BENCH_pr10.json"
 
 #: documented accuracy contract of the adaptive time-to-endpoint row:
 #: relative L2 distance of the adaptive endpoint velocity from the fine
@@ -636,7 +639,56 @@ def _krylov_cg_workload() -> str:
         [cg(A, b, tol=1e-12, maxiter=4000, M=M) for b in bs])
 
 
-#: population after the coarse pre-roll; shared starting point of every
+#: (trace, times) of the breathing-cycle row: a multi-cycle ventilator
+#: flow trace plus the solver-side query schedule; built once, untimed
+#: (the 0D integration is a toggle-neutral input to both sides)
+_COSIM_TRACE: Optional[tuple] = None
+
+
+def _cosim_trace() -> tuple:
+    global _COSIM_TRACE
+    if _COSIM_TRACE is None:
+        from ..cosim import (BreathingPattern, LungModel,
+                             VENTILATION_PATTERNS, VentilatorSettings,
+                             simulate_breathing)
+
+        pattern = BreathingPattern(
+            LungModel(), VentilatorSettings(**VENTILATION_PATTERNS["rest"]))
+        trace = simulate_breathing(pattern, n_cycles=4,
+                                   samples_per_cycle=4096)
+        times = [i * trace.duration / 200.0 for i in range(200)]
+        _COSIM_TRACE = (trace, times)
+    return _COSIM_TRACE
+
+
+def _hub_forward_digest(hub_fn, trace, times) -> str:
+    digest = hashlib.sha256()
+    for t in times:
+        digest.update(repr(round(hub_fn(t), 12)).encode())
+    digest.update(repr(round(trace.peak_flow, 12)).encode())
+    return digest.hexdigest()
+
+
+def _breathing_cycle_buffered() -> str:
+    """One buffered hub amortized over the query schedule: receive and
+    transform run once, every forward is a window lookup."""
+    from ..cosim import CosimHub
+
+    trace, times = _cosim_trace()
+    hub = CosimHub(trace)
+    return _hub_forward_digest(hub.scale_at, trace, times)
+
+
+def _breathing_cycle_unbuffered() -> str:
+    """The transform-per-request model a hub-less coupling degenerates to:
+    every solver query re-reduces the full trace to window scales before
+    forwarding one value.  Forwards are bit-identical to the buffered
+    path by construction (same windows, same reduction)."""
+    from ..cosim import CosimHub
+
+    trace, times = _cosim_trace()
+    return _hub_forward_digest(
+        lambda t: CosimHub(trace).scale_at(t), trace, times)
 #: particle benchmark row (toggle-neutral: trackers are bit-identical
 #: across toggle states, which ``tests/test_perf_identical.py`` enforces)
 _PARTICLE_PREROLL: Optional[tuple] = None
@@ -913,6 +965,18 @@ def _benchmark_table(quick: bool) -> list[dict]:
          "unit_count": lambda: 32,
          "note": "gates the krylov_buffers allocation-free cores on an "
                  "iteration-heavy small system"},
+        # before/after compare hub execution models (transform-per-request
+        # vs one buffered receive/transform amortized over the forwards),
+        # not toggle states; forwards are bit-identical by construction
+        {"name": "breathing_cycle", "kind": "kernel",
+         "fn": _breathing_cycle_buffered,
+         "before_fn": _breathing_cycle_unbuffered,
+         "setup": _cosim_trace, "units": "forwards", "repeats": 7,
+         "unit_count": lambda: 200, "min_speedup": 5.0,
+         "note": "before = hub-less coupling re-reducing the 4-cycle flow "
+                 "trace to window scales on every solver query; after = "
+                 "one buffered CosimHub (receive/transform once) "
+                 "answering the same 200 forwards"},
         {"name": "particle_location", "kind": "kernel",
          "fn": _particles_workload, "units": "particles", "warmup": True,
          "setup": _particle_snapshots, "min_speedup": 1.2,
@@ -1254,6 +1318,50 @@ def _fluid_adaptive_digest() -> str:
     return digest.hexdigest()
 
 
+def _fluid_breathing_digest() -> str:
+    """Ventilator-coupled variant of :func:`_fluid_toggle_digest`: the
+    hub's forwarded scale drives the inlet through
+    ``advance_to(..., inlet_scale=...)`` while the CFL controller walks
+    the ladder, so the digest covers the inlet rescale path (per-step
+    ``inlet_scale`` values) on top of the field bytes and the controller
+    walk."""
+    from ..cosim import (BreathingPattern, LungModel, VENTILATION_PATTERNS,
+                         VentilatorSettings, hub_for)
+    from ..fem import CflController, DtLadder, FractionalStepSolver
+
+    mesh, bc = _fluid_tube()
+    pattern = BreathingPattern(
+        LungModel(), VentilatorSettings(**VENTILATION_PATTERNS["rest"]))
+    hub = hub_for(pattern, n_cycles=1, horizon=8e-3)
+    control = CflController(ladder=DtLadder(dt_min=5e-4, dt_max=4e-3))
+    digest = hashlib.sha256()
+    for pressure_solver in ("cg", "deflated"):
+        solver = FractionalStepSolver(mesh, bc, viscosity=1e-3, density=1.0,
+                                      dt=2e-3,
+                                      pressure_solver=pressure_solver)
+        infos = solver.advance_to(8e-3, control=control,
+                                  inlet_scale=hub.scale_at, tol=1e-5)
+        digest.update(solver.u.tobytes())
+        digest.update(solver.p.tobytes())
+        digest.update(repr([(i.momentum_iterations, i.pressure_iterations,
+                             round(i.dt, 12), i.rung,
+                             round(i.inlet_scale, 12))
+                            for i in infos]).encode())
+    return digest.hexdigest()
+
+
+def _breathing_digest_spec():
+    """The end-to-end digest-check spec for ``--digest-workload
+    breathing``: ventilator-coupled inlet through the cosim hub,
+    injection gated to inhalation, the CFL ladder consuming the
+    transient — every path the cosim PR added to the driver."""
+    from ..app.workload import WorkloadSpec
+
+    return WorkloadSpec(adaptive="global", inlet_waveform="ventilator",
+                        injection_phase="inhale", injection_interval=4,
+                        n_steps=16)
+
+
 def _adaptive_digest_spec():
     """The end-to-end digest-check spec for ``--digest-workload adaptive``:
     local per-rank rungs with deterministic subcycling over a transient
@@ -1270,7 +1378,10 @@ def _digest_check(toggle: str, workload: str = "default") -> int:
     ``workload="adaptive"`` routes the check through the adaptive-Δt
     paths: the tube solver advances through the CFL controller for the
     fluid toggles, and the end-to-end run uses a local-adaptive transient
-    spec for everything else.
+    spec for everything else.  ``workload="breathing"`` routes it through
+    the ventilator-coupled cosim paths instead (hub-driven inlet rescale
+    on the tube solver for the fluid toggles, the gated-injection
+    ventilator spec end-to-end otherwise).
     """
     from .toggles import Toggles, configured
 
@@ -1279,11 +1390,15 @@ def _digest_check(toggle: str, workload: str = "default") -> int:
               f"{', '.join(Toggles.__dataclass_fields__)}", file=sys.stderr)
         return 2
     if toggle in _FLUID_DIGEST_TOGGLES:
-        digest_fn = (_fluid_adaptive_digest if workload == "adaptive"
-                     else _fluid_toggle_digest)
+        digest_fn = {"adaptive": _fluid_adaptive_digest,
+                     "breathing": _fluid_breathing_digest,
+                     }.get(workload, _fluid_toggle_digest)
     elif workload == "adaptive":
         def digest_fn():
             return _run_cfpd_digest(spec=_adaptive_digest_spec())
+    elif workload == "breathing":
+        def digest_fn():
+            return _run_cfpd_digest(spec=_breathing_digest_spec())
     else:
         digest_fn = _run_cfpd_digest
     with configured(**{toggle: False}):
@@ -1328,12 +1443,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "fail (exit 1) if the simulated digests "
                              "differ")
     parser.add_argument("--digest-workload", default="default",
-                        choices=("default", "adaptive"),
+                        choices=("default", "adaptive", "breathing"),
                         help="workload --digest-check runs: the default "
-                             "configuration, or the adaptive-Δt paths "
+                             "configuration, the adaptive-Δt paths "
                              "(CFL-controlled tube flow for the fluid "
                              "toggles, a local-adaptive transient spec "
-                             "end-to-end otherwise)")
+                             "end-to-end otherwise), or the "
+                             "ventilator-coupled cosim paths (hub-driven "
+                             "inlet rescale on the tube solver / the "
+                             "gated-injection ventilator spec)")
     args = parser.parse_args(argv)
 
     if args.digest_check:
